@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+//
+//	experiments -table1        # Table 1: evaluation networks
+//	experiments -fig7          # Figure 7: pilot study timings
+//	experiments -fig8          # Figure 8: enterprise trade-off
+//	experiments -fig9          # Figure 9: university trade-off
+//	experiments -verifycost    # §4.3 verification-cost anchor
+//	experiments -all           # everything
+//
+// Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
+// full search used for the recorded results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"heimdall/internal/experiments"
+	"heimdall/internal/latency"
+	"heimdall/internal/scenarios"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig7       = flag.Bool("fig7", false, "regenerate Figure 7 (pilot study)")
+		fig8       = flag.Bool("fig8", false, "regenerate Figure 8 (enterprise)")
+		fig9       = flag.Bool("fig9", false, "regenerate Figure 9 (university)")
+		verifyCost = flag.Bool("verifycost", false, "measure the verification-cost anchor")
+		all        = flag.Bool("all", false, "run every experiment")
+		budget     = flag.Int("budget", 0, "mutation budget per sample for fig8/fig9 (0 = full search)")
+	)
+	flag.Parse()
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	model := latency.Default()
+	if *all || *table1 {
+		timed("table1", func() {
+			fmt.Print(experiments.FormatTable1(experiments.Table1()))
+		})
+	}
+	if *all || *fig7 {
+		timed("fig7", func() {
+			runs, err := experiments.Figure7(model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatFigure7(runs))
+		})
+	}
+	if *all || *fig8 {
+		timed("fig8", func() {
+			results := experiments.Figure89(scenarios.Enterprise(), *budget)
+			fmt.Print(experiments.FormatFigure89("Figure 8 (enterprise)", results))
+		})
+	}
+	if *all || *fig9 {
+		timed("fig9", func() {
+			results := experiments.Figure89(scenarios.University(), *budget)
+			fmt.Print(experiments.FormatFigure89("Figure 9 (university)", results))
+		})
+	}
+	if *all || *verifyCost {
+		timed("verifycost", func() {
+			res := experiments.MeasureVerifyCost(model)
+			fmt.Printf("verification cost: %d policies in %s real compute (%.2f ms/policy)\n",
+				res.Policies, res.Elapsed.Round(time.Microsecond),
+				float64(res.PerPolicy.Microseconds())/1000)
+			fmt.Printf("modeled wall-clock at paper calibration: %.1fs (paper: ~25s for 175 constraints)\n",
+				res.ModeledWall.Seconds())
+		})
+	}
+}
+
+func timed(name string, f func()) {
+	start := time.Now()
+	f()
+	fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,239 @@
+// Command heimdallctl drives a Heimdall deployment on one of the built-in
+// evaluation networks from the command line:
+//
+//	heimdallctl topology  -scenario enterprise            # print the network
+//	heimdallctl configs   -scenario enterprise -device r3 # print configs
+//	heimdallctl policies  -scenario university            # print the policy set
+//	heimdallctl workflow  -scenario enterprise -issue vlan # run a full ticket
+//	heimdallctl exec      -scenario enterprise -device r1 -line "show ip route"
+//	heimdallctl terminal  -scenario enterprise -device r1  # interactive modal shell
+//	heimdallctl rmm       -scenario enterprise            # serve the baseline RMM over TCP
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"heimdall/internal/console"
+	"heimdall/internal/core"
+	"heimdall/internal/rmm"
+	"heimdall/internal/scenarios"
+	"heimdall/internal/ticket"
+	"heimdall/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scenName := fs.String("scenario", "enterprise", "enterprise, university or provider")
+	device := fs.String("device", "", "restrict output to one device")
+	issueName := fs.String("issue", "", "issue to run (vlan/ospf/isp for enterprise; acl/ospf/isp for university)")
+	line := fs.String("line", "", "console command for the exec subcommand")
+	addr := fs.String("addr", "127.0.0.1:7777", "listen address for the rmm command")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	scen := loadScenario(*scenName)
+	switch cmd {
+	case "topology":
+		printTopology(scen)
+	case "configs":
+		printConfigs(scen, *device)
+	case "policies":
+		printPolicies(scen)
+	case "workflow":
+		runWorkflow(scen, *issueName)
+	case "exec":
+		runExec(scen, *device, *line)
+	case "terminal":
+		runTerminal(scen, *device)
+	case "rmm":
+		serveRMM(scen, *addr)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm} [flags]")
+	os.Exit(2)
+}
+
+func loadScenario(name string) *scenarios.Scenario {
+	switch name {
+	case "enterprise":
+		return scenarios.Enterprise()
+	case "university":
+		return scenarios.University()
+	case "provider":
+		return scenarios.Provider()
+	}
+	log.Fatalf("unknown scenario %q (want enterprise, university or provider)", name)
+	return nil
+}
+
+func printTopology(scen *scenarios.Scenario) {
+	row := scen.Row()
+	fmt.Printf("%s: %d routers/switches, %d hosts, %d links, %d policies, %d config lines\n",
+		row.Network, row.Routers, row.Hosts, row.Links, row.Policies, row.ConfigLines)
+	for _, l := range scen.Network.Links {
+		fmt.Printf("  %-22s <-> %s\n", l.A, l.B)
+	}
+}
+
+func printConfigs(scen *scenarios.Scenario, device string) {
+	if device != "" {
+		text, ok := scen.Configs[device]
+		if !ok {
+			log.Fatalf("no device %q", device)
+		}
+		fmt.Print(text)
+		return
+	}
+	for _, dev := range scen.Network.DeviceNames() {
+		fmt.Printf("!===== %s =====\n%s\n", dev, scen.Configs[dev])
+	}
+}
+
+func printPolicies(scen *scenarios.Scenario) {
+	data, err := verify.MarshalPolicies(scen.Policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func runWorkflow(scen *scenarios.Scenario, issueName string) {
+	if issueName == "" {
+		log.Fatal("workflow needs -issue")
+	}
+	var issue *scenarios.Issue
+	for i := range scen.Issues {
+		if scen.Issues[i].Name == issueName {
+			issue = &scen.Issues[i]
+		}
+	}
+	if issue == nil {
+		log.Fatalf("no issue %q in %s", issueName, scen.Name)
+	}
+	if err := issue.Fault.Inject(scen.Network); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault injected: %s\n", issue.Fault.Description)
+
+	sys, err := core.NewSystem(core.Options{
+		Network: scen.Network, Policies: scen.Policies, Sensitive: scen.Sensitive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tk := sys.Tickets.Create(ticket.Ticket{
+		Summary: issue.Fault.Description, Kind: issue.Fault.Kind,
+		SrcHost: issue.SrcHost, DstHost: issue.DstHost,
+		Proto: issue.Proto, DstPort: issue.DstPort,
+		Suspects: []string{issue.Fault.RootCause}, CreatedBy: "heimdallctl",
+	})
+	eng, err := sys.StartWork(tk.ID, "operator")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ticket %s assigned; twin slice: %v\n", tk.ID, eng.Twin.VisibleDevices())
+	for _, cmd := range issue.Script {
+		out, err := func() (string, error) {
+			sess, err := eng.Console(cmd.Device)
+			if err != nil {
+				return "", err
+			}
+			return sess.Exec(cmd.Line)
+		}()
+		if err != nil {
+			log.Fatalf("%s on %s: %v", cmd.Line, cmd.Device, err)
+		}
+		fmt.Printf("twin %s> %s\n", cmd.Device, cmd.Line)
+		if out != "" {
+			fmt.Println(indent(out))
+		}
+	}
+	decision, err := eng.Commit()
+	if err != nil {
+		log.Fatalf("commit refused: %v", err)
+	}
+	fmt.Printf("enforcer: %s (%d policies checked); ticket -> %s\n",
+		decision.Reason(), decision.Checked, sys.Tickets.Get(tk.ID).Status)
+	fmt.Printf("audit trail: %d entries\n", sys.Enforcer.Trail().Len())
+}
+
+// runExec runs one console command directly on a scenario device — handy
+// for poking at the built-in networks without a ticket.
+func runExec(scen *scenarios.Scenario, device, line string) {
+	if device == "" || line == "" {
+		log.Fatal("exec needs -device and -line")
+	}
+	if scen.Network.Devices[device] == nil {
+		log.Fatalf("no device %q", device)
+	}
+	out, err := console.New(device, console.NewEnv(scen.Network)).Run(line)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out != "" {
+		fmt.Println(out)
+	}
+}
+
+// runTerminal opens an interactive IOS-style modal shell on a device.
+func runTerminal(scen *scenarios.Scenario, device string) {
+	if device == "" {
+		log.Fatal("terminal needs -device")
+	}
+	if scen.Network.Devices[device] == nil {
+		log.Fatalf("no device %q", device)
+	}
+	term := console.NewTerminal(console.New(device, console.NewEnv(scen.Network)).Run)
+	fmt.Printf("connected to %s; 'configure terminal' for config mode, ctrl-D to quit\n", device)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s%s ", device, term.Prompt())
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		out, err := term.Input(sc.Text())
+		if err != nil {
+			fmt.Printf("%% %v\n", err)
+			continue
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+}
+
+func serveRMM(scen *scenarios.Scenario, addr string) {
+	srv := rmm.NewServer(map[string]string{"admin": "admin"}, rmm.NewDirectBackend(scen.Network))
+	if err := srv.Listen(addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline RMM server (direct access, no mediation) on %s\n", srv.Addr())
+	fmt.Println(`login with {"op":"login","user":"admin","token":"admin"}, then {"op":"exec","device":"r1","line":"show ip route"}`)
+	fmt.Println("press enter to stop")
+	_, _ = bufio.NewReader(os.Stdin).ReadString('\n')
+	_ = srv.Close()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

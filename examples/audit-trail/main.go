@@ -1,0 +1,102 @@
+// Command audit-trail demonstrates Heimdall's trust machinery: remote
+// attestation of the enclave-hosted policy enforcer, the tamper-evident
+// audit chain every technician action lands on, and detection of a
+// post-hoc tampering attempt on an exported trail.
+//
+//	go run ./examples/audit-trail
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"strings"
+
+	"heimdall"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	scen := heimdall.EnterpriseScenario()
+	issue := scen.Issues[2] // isp
+	if err := issue.Fault.Inject(scen.Network); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := heimdall.NewSystem(heimdall.Options{
+		Network: scen.Network, Policies: scen.Policies, Sensitive: scen.Sensitive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ── Attestation: the customer verifies WHO is enforcing. ───────────
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		log.Fatal(err)
+	}
+	report, err := sys.Attest(nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attested enforcer measurement: %s...\n", report.Measurement[:16])
+
+	// ── Work a ticket; everything is audited. ──────────────────────────
+	tk := sys.Tickets.Create(heimdall.Ticket{
+		Summary: issue.Fault.Description, Kind: heimdall.TaskISP,
+		SrcHost: issue.SrcHost, DstHost: issue.DstHost,
+		Proto: issue.Proto, DstPort: issue.DstPort,
+		Suspects: []string{"r3"}, CreatedBy: "netadmin",
+	})
+	eng, err := sys.StartWork(tk.ID, "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.RunScript(issue.Script); err != nil {
+		log.Fatal(err)
+	}
+	// One denied probe, for the record.
+	if sess, err := eng.Console("r3"); err == nil {
+		_, _ = sess.Exec("access-list X 10 permit ip any any") // denied: ISP ticket
+	}
+	if _, err := eng.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	trail := sys.Enforcer.Trail()
+	fmt.Printf("\naudit trail (%d entries):\n", trail.Len())
+	for _, e := range trail.Entries() {
+		verdict := "ALLOW"
+		if !e.Allowed {
+			verdict = "DENY "
+		}
+		fmt.Printf("  #%02d %-10s %s %s\n", e.Index, e.Kind, verdict, e.Detail)
+	}
+	if err := trail.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nchain verification: OK")
+
+	// ── Tampering attempt on the exported trail. ────────────────────────
+	export, err := trail.Export()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doctored := strings.Replace(string(export), "alice", "nobody", 1)
+	fmt.Println("\nattacker rewrites the technician name in the exported log...")
+	if _, err := importTrail(sys, []byte(doctored)); err != nil {
+		fmt.Printf("tamper detected on import: %v\n", err)
+	} else {
+		log.Fatal("BUG: doctored trail accepted")
+	}
+}
+
+// importTrail re-imports an exported trail under the enforcer's key by
+// appending a marker entry and verifying; the audit package's Import is
+// exercised directly in its tests — here we just re-verify the bytes by
+// parsing through the public API.
+func importTrail(sys *heimdall.System, data []byte) (*heimdall.AuditTrail, error) {
+	// The customer's auditor holds the trail key material via the secure
+	// channel established at attestation; the demo reuses the enforcer's.
+	return heimdall.ImportAuditTrail(sys.Enforcer.TrailKey(), data)
+}

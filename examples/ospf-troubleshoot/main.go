@@ -1,0 +1,97 @@
+// Command ospf-troubleshoot reproduces the paper's OSPF issue ("I can't
+// ping the other router using OSPF") on the enterprise network: a
+// passive-interface statement silently kills an adjacency and strands a
+// branch. It also demonstrates safe privilege escalation: the technician
+// first suspects an ACL, requests ACL privileges, and the admin approves.
+//
+//	go run ./examples/ospf-troubleshoot
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"heimdall"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	scen := heimdall.EnterpriseScenario()
+	issue := scen.Issues[1] // ospf
+	prod := scen.Network
+	if err := issue.Fault.Inject(prod); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected fault: %s\n", issue.Fault.Description)
+
+	sys, err := heimdall.NewSystem(heimdall.Options{
+		Network: prod, Policies: scen.Policies, Sensitive: scen.Sensitive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tk := sys.Tickets.Create(heimdall.Ticket{
+		Summary: fmt.Sprintf("%s cannot ping %s", issue.SrcHost, issue.DstHost),
+		Kind:    heimdall.TaskOSPF,
+		SrcHost: issue.SrcHost, DstHost: issue.DstHost, Proto: issue.Proto,
+		Suspects:  []string{"r7"},
+		CreatedBy: "netadmin",
+	})
+	eng, err := sys.StartWork(tk.ID, "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Diagnosis: neighbors are missing on r7.
+	r7, err := eng.Console("r7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := r7.Exec("show ip ospf neighbor")
+	fmt.Printf("twin> r7: show ip ospf neighbor ->\n%s\n", out)
+
+	// Mid-task escalation: the technician wants to rule out ACLs.
+	esc := eng.RequestEscalation(heimdall.PrivilegeRule{
+		Effect: heimdall.Allow, Action: "config.acl.*", Resource: "device:r7",
+	}, "adjacency missing; want to rule out an ACL blocking OSPF hellos")
+	fmt.Printf("escalation requested: %s (%s)\n", esc.Rule, esc.Justification)
+	if err := eng.ApproveEscalation(esc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("escalation approved by admin (audited)")
+
+	// Root cause found: a passive-interface statement.
+	out, _ = r7.Exec("show running-config")
+	fmt.Printf("twin> r7: running-config contains the culprit:\n%s\n", grep(out, "passive-interface"))
+
+	if _, err := r7.Exec("router ospf no passive-interface Gi0/0"); err != nil {
+		log.Fatal(err)
+	}
+	out, _ = r7.Exec("show ip ospf neighbor")
+	fmt.Printf("twin> r7: show ip ospf neighbor (after fix) ->\n%s\n", out)
+
+	if ok, _ := eng.SymptomResolved(); !ok {
+		log.Fatal("twin still shows the symptom")
+	}
+	decision, err := eng.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enforcer: %s; ticket %s -> %s\n",
+		decision.Reason(), tk.ID, sys.Tickets.Get(tk.ID).Status)
+}
+
+func grep(s, needle string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return "(no match)"
+	}
+	return strings.Join(out, "\n")
+}

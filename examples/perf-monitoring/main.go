@@ -1,0 +1,82 @@
+// Command perf-monitoring demonstrates the MSP's performance-management
+// service class (paper §2.1) under least privilege: a bandwidth report
+// over the enterprise network detects an outage, a monitoring ticket is
+// filed, and the technician investigates with a strictly read-only
+// Privilegemsp — every write attempt bounces off the reference monitor.
+//
+//	go run ./examples/perf-monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"heimdall"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	scen := heimdall.EnterpriseScenario()
+	demands := heimdall.UniformTrafficMatrix(scen.Network, 2026, 40, 5, 50)
+
+	fmt.Println("== baseline bandwidth report ==")
+	baseline := heimdall.EvaluateTraffic(scen.Snapshot(), demands)
+	fmt.Println(baseline)
+
+	// A link fails overnight.
+	scen.Network.Device("r3").Interface("Gi0/3").Shutdown = true
+	fmt.Println("\n== report after silent link failure ==")
+	after := heimdall.EvaluateTraffic(scen.Snapshot(), demands)
+	fmt.Println(after)
+	if len(after.Undelivered) == 0 {
+		log.Fatal("expected losses after the failure")
+	}
+
+	// Monitoring alarms file a ticket; the technician gets READ-ONLY
+	// privileges (TaskMonitoring grants no config.* actions at all).
+	sys, err := heimdall.NewSystem(heimdall.Options{
+		Network: scen.Network, Policies: scen.Policies, Sensitive: scen.Sensitive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := after.Undelivered[0]
+	tk := sys.Tickets.Create(heimdall.Ticket{
+		Summary: fmt.Sprintf("bandwidth report shows loss %s -> %s", loss.Src, loss.Dst),
+		Kind:    heimdall.TaskMonitoring,
+		SrcHost: loss.Src, DstHost: loss.Dst, Proto: loss.Proto, DstPort: loss.Port,
+		CreatedBy: "monitoring-system",
+	})
+	eng, err := sys.StartWork(tk.ID, "noc-analyst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nticket %s: read-only twin with %d visible devices\n",
+		tk.ID, len(eng.Twin.VisibleDevices()))
+
+	for _, dev := range eng.Twin.VisibleDevices() {
+		sess, err := eng.Console(dev)
+		if err != nil {
+			continue
+		}
+		if out, err := sess.Exec("show interfaces"); err == nil {
+			for _, line := range strings.Split(out, "\n") {
+				if strings.Contains(line, "administratively down") {
+					fmt.Printf("twin %s> found: %s\n", dev, line)
+				}
+			}
+		}
+	}
+
+	// Any repair attempt is denied: monitoring privileges cannot write.
+	if sess, err := eng.Console("r3"); err == nil {
+		if _, err := sess.Exec("interface Gi0/3 no shutdown"); err != nil {
+			fmt.Printf("reference monitor: %v\n", err)
+			fmt.Println("-> analyst escalates to an interface ticket instead of fixing silently")
+		} else {
+			log.Fatal("BUG: monitoring ticket allowed a write")
+		}
+	}
+}

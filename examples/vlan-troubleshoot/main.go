@@ -1,0 +1,102 @@
+// Command vlan-troubleshoot reproduces the paper's VLAN issue on the
+// enterprise evaluation network: an access port lands in the wrong VLAN
+// (the classic StackExchange "access port config" ticket), stranding a
+// host. The technician resolves it inside the twin while the reference
+// monitor blocks everything a VLAN ticket does not justify.
+//
+//	go run ./examples/vlan-troubleshoot
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"heimdall"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	scen := heimdall.EnterpriseScenario()
+	issue := scen.Issues[0] // vlan
+	prod := scen.Network
+
+	// Break production.
+	if err := issue.Fault.Inject(prod); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected fault: %s\n", issue.Fault.Description)
+
+	sys, err := heimdall.NewSystem(heimdall.Options{
+		Network:   prod,
+		Policies:  scen.Policies,
+		Sensitive: scen.Sensitive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tk := sys.Tickets.Create(heimdall.Ticket{
+		Summary:   fmt.Sprintf("%s cannot reach %s", issue.SrcHost, issue.DstHost),
+		Kind:      heimdall.TaskVLAN,
+		SrcHost:   issue.SrcHost,
+		DstHost:   issue.DstHost,
+		Proto:     issue.Proto,
+		CreatedBy: "netadmin",
+	})
+	eng, err := sys.StartWork(tk.ID, "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slice (%d of %d devices visible): %v\n",
+		len(eng.Twin.VisibleDevices()), len(prod.Devices), eng.Twin.VisibleDevices())
+
+	// The finance server's router is NOT part of a VLAN ticket's world.
+	if _, err := eng.Console("h9"); err != nil {
+		fmt.Printf("console h9 (finance): correctly refused: %v\n", err)
+	}
+
+	// A VLAN ticket grants no ACL privileges, even inside the slice.
+	sw2, err := eng.Console("sw2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = sw2.Exec("access-list EVIL 10 permit ip any any")
+	var denied *heimdall.ErrDenied
+	if errors.As(err, &denied) {
+		fmt.Printf("reference monitor: blocked %s on %s\n", denied.Action, denied.Resource)
+	}
+
+	// Run the prepared diagnosis + fix script.
+	outputs, err := eng.RunScript(issue.Script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cmd := range issue.Script {
+		first := outputs[i]
+		if idx := len(first); idx > 60 {
+			first = first[:60] + "..."
+		}
+		fmt.Printf("twin> %-4s %-45q %s\n", cmd.Device+":", cmd.Line, firstLine(first))
+	}
+
+	if ok, _ := eng.SymptomResolved(); !ok {
+		log.Fatal("twin still shows the symptom")
+	}
+	decision, err := eng.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enforcer: %s; production fixed, ticket %s -> %s\n",
+		decision.Reason(), tk.ID, sys.Tickets.Get(tk.ID).Status)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

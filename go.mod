@@ -1,0 +1,3 @@
+module heimdall
+
+go 1.22

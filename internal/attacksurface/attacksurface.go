@@ -1,0 +1,518 @@
+// Package attacksurface implements the paper's §5 attack-surface /
+// feasibility trade-off experiment (Figures 8 and 9).
+//
+// For every interface of the evaluation network, an interface-down issue is
+// injected and each access technique (All, Neighbor, Heimdall) is scored on
+// two metrics:
+//
+//   - feasibility: can the technician reach — and is allowed to fix — the
+//     root-cause device?
+//
+//   - attack surface: the paper's weighted combination of exposed command
+//     surface and potential policy violations,
+//
+//     Attack_Surface(%) = (ΣC_n/ΣA_n · 0.5 + VP/P · 0.5) · 100
+//
+// where A_n is the command surface available on node n, C_n the commands
+// the technique lets the technician run there, P the policy count, and VP
+// the number of policies some allowed command sequence could newly violate
+// (found by searching canonical malicious mutations on accessible nodes).
+package attacksurface
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"heimdall/internal/console"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/ticket"
+	"heimdall/internal/twin"
+	"heimdall/internal/verify"
+)
+
+// Technique is one access model under evaluation.
+type Technique struct {
+	Name     string
+	Strategy twin.SliceStrategy
+	// FullPrivileges grants every command on every visible node (the All
+	// and Neighbor strawmen); otherwise a task-driven Privilegemsp is
+	// generated per ticket (Heimdall).
+	FullPrivileges bool
+}
+
+// The three techniques of Figures 8 and 9.
+var (
+	All      = Technique{Name: "All", Strategy: twin.SliceAll, FullPrivileges: true}
+	Neighbor = Technique{Name: "Neighbor", Strategy: twin.SliceNeighbors, FullPrivileges: true}
+	Heimdall = Technique{Name: "Heimdall", Strategy: twin.SliceTaskDriven, FullPrivileges: false}
+)
+
+// FaultCase is one injected issue with the host pair it affects.
+type FaultCase struct {
+	Fault ticket.Fault
+	Src   string
+	Dst   string
+}
+
+// Sample is one (fault, technique) measurement.
+type Sample struct {
+	Fault          string
+	Feasible       bool
+	Surface        float64 // percent
+	ExposedRatio   float64 // ΣC/ΣA
+	ViolationRatio float64 // VP/P
+	VisibleNodes   int
+}
+
+// Result aggregates a technique's samples.
+type Result struct {
+	Technique string
+	Samples   []Sample
+}
+
+// Feasibility returns the fraction of feasible samples.
+func (r *Result) Feasibility() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range r.Samples {
+		if s.Feasible {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Samples))
+}
+
+// MeanSurface returns the mean attack surface percentage.
+func (r *Result) MeanSurface() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range r.Samples {
+		sum += s.Surface
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// String renders the figure row.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-9s feasibility=%5.1f%%  attack_surface=%5.1f%%  (n=%d)",
+		r.Technique, r.Feasibility()*100, r.MeanSurface()*1, len(r.Samples))
+}
+
+// Evaluator runs the experiment against one network and policy set.
+type Evaluator struct {
+	Base      *netmodel.Network
+	Policies  []verify.Policy
+	Sensitive map[string]bool
+	// MutationBudget caps how many malicious mutations are explored per
+	// sample (0 = unlimited). The figures use the full search; unit tests
+	// shrink it.
+	MutationBudget int
+}
+
+// InterfaceFaults enumerates the experiment's issues: for every up,
+// addressed interface on an infrastructure device, an interface-down fault
+// paired with the first host pair whose baseline traffic crosses that
+// device. Interfaces whose loss strands no host pair produce no ticket and
+// are skipped, mirroring the paper's setup where every issue is a real
+// ticket.
+func InterfaceFaults(n *netmodel.Network) []FaultCase {
+	snap := dataplane.Compute(n)
+	hosts := n.Hosts()
+	type pairTrace struct {
+		src, dst string
+		tr       *dataplane.Trace
+	}
+	var traces []pairTrace
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			tr, err := snap.Reach(src, dst, netmodel.ICMP, 0)
+			if err == nil && tr.Delivered() {
+				traces = append(traces, pairTrace{src, dst, tr})
+			}
+		}
+	}
+	var out []FaultCase
+	for _, dev := range n.RoutersAndSwitches() {
+		d := n.Devices[dev]
+		for _, ifName := range d.InterfaceNames() {
+			itf := d.Interfaces[ifName]
+			if !itf.Up() || !itf.HasAddr() {
+				continue
+			}
+			// The affected pair: baseline traffic entering or leaving this
+			// interface.
+			var affected *pairTrace
+			for i := range traces {
+				for _, hop := range traces[i].tr.Hops {
+					if hop.Device == dev && (hop.InIf == ifName || hop.OutIf == ifName) {
+						affected = &traces[i]
+						break
+					}
+				}
+				if affected != nil {
+					break
+				}
+			}
+			if affected == nil {
+				continue
+			}
+			out = append(out, FaultCase{
+				Fault: ticket.InterfaceDown(dev, ifName),
+				Src:   affected.src,
+				Dst:   affected.dst,
+			})
+		}
+	}
+	return out
+}
+
+// Evaluate scores one technique across all fault cases.
+func (ev *Evaluator) Evaluate(tech Technique, cases []FaultCase) *Result {
+	res := &Result{Technique: tech.Name}
+	totalAvail := 0
+	availPer := make(map[string]int)
+	for _, dev := range ev.Base.DeviceNames() {
+		c := len(console.Catalog(ev.Base.Devices[dev]))
+		availPer[dev] = c
+		totalAvail += c
+	}
+
+	for _, fc := range cases {
+		faulted := ev.Base.Clone()
+		if err := fc.Fault.Inject(faulted); err != nil {
+			continue
+		}
+		snap := dataplane.Compute(faulted)
+		slice := twin.ComputeSlice(faulted, snap, tech.Strategy, fc.Src, fc.Dst, nil)
+
+		spec := ev.specFor(tech, faulted, slice)
+		visible := func(dev string) bool { return slice[dev] }
+
+		// ΣC: allowed commands on visible nodes.
+		allowedTotal := 0
+		for dev := range slice {
+			d := faulted.Devices[dev]
+			if d == nil {
+				continue
+			}
+			if tech.FullPrivileges {
+				allowedTotal += availPer[dev]
+				continue
+			}
+			for _, ar := range console.Catalog(d) {
+				if spec.Allows(ar.Action, ar.Resource) {
+					allowedTotal++
+				}
+			}
+		}
+
+		// Feasibility: root cause visible and fixable.
+		root := fc.Fault.RootCause
+		feasible := visible(root)
+		if feasible && !tech.FullPrivileges {
+			fixRes := fmt.Sprintf("device:%s", root)
+			feasible = spec.Allows("config.interface.set", fixRes) ||
+				anyInterfaceFixAllowed(spec, faulted.Devices[root])
+		}
+
+		// VP: policies newly violable through allowed mutations.
+		pre := violatedSet(snap, ev.Policies)
+		vp := ev.potentialViolations(faulted, spec, tech.FullPrivileges, slice, pre)
+
+		exposed := 0.0
+		if totalAvail > 0 {
+			exposed = float64(allowedTotal) / float64(totalAvail)
+		}
+		vr := 0.0
+		if len(ev.Policies) > 0 {
+			vr = float64(vp) / float64(len(ev.Policies))
+		}
+		res.Samples = append(res.Samples, Sample{
+			Fault:          fc.Fault.Name,
+			Feasible:       feasible,
+			Surface:        (exposed*0.5 + vr*0.5) * 100,
+			ExposedRatio:   exposed,
+			ViolationRatio: vr,
+			VisibleNodes:   len(slice),
+		})
+	}
+	return res
+}
+
+// specFor builds the technique's privilege specification for a ticket.
+func (ev *Evaluator) specFor(tech Technique, n *netmodel.Network, slice map[string]bool) *privilege.Spec {
+	if tech.FullPrivileges {
+		return &privilege.Spec{Ticket: "fig89", Technician: "tech", Rules: []privilege.Rule{
+			{Effect: privilege.AllowEffect, Action: "*", Resource: "*"},
+		}}
+	}
+	var scope, sensitive []string
+	for dev := range slice {
+		scope = append(scope, dev)
+	}
+	for host := range ev.Sensitive {
+		sensitive = append(sensitive, host)
+	}
+	sort.Strings(scope)
+	sort.Strings(sensitive)
+	spec, err := privilege.Generate(privilege.TemplateInput{
+		Ticket: "fig89", Technician: "tech", Kind: privilege.TaskInterface,
+		Scope: scope, Sensitive: sensitive,
+	})
+	if err != nil {
+		// The template only fails on empty inputs, which cannot happen here.
+		panic(err)
+	}
+	// Fine-grained write grants: for an interface ticket, the plausible
+	// root causes are exactly the administratively-down interfaces inside
+	// the slice — write access covers those specific resources, nothing
+	// else. This is the fine-grained authorization the paper's
+	// Privilegemsp exists for (§3, Challenge 1).
+	for _, dev := range scope {
+		d := n.Devices[dev]
+		if d == nil || d.Kind == netmodel.Host {
+			continue
+		}
+		for _, ifName := range d.InterfaceNames() {
+			if d.Interfaces[ifName].Shutdown {
+				spec.Rules = append(spec.Rules, privilege.Rule{
+					Effect:   privilege.AllowEffect,
+					Action:   "config.interface.set",
+					Resource: fmt.Sprintf("device:%s:interface:%s", dev, ifName),
+				})
+			}
+		}
+	}
+	return spec
+}
+
+func anyInterfaceFixAllowed(spec *privilege.Spec, d *netmodel.Device) bool {
+	if d == nil {
+		return false
+	}
+	for _, ifName := range d.InterfaceNames() {
+		if spec.Allows("config.interface.set", fmt.Sprintf("device:%s:interface:%s", d.Name, ifName)) {
+			return true
+		}
+	}
+	return false
+}
+
+func violatedSet(snap *dataplane.Snapshot, policies []verify.Policy) map[string]bool {
+	out := make(map[string]bool)
+	for _, v := range verify.Check(snap, policies).Violations {
+		out[v.Policy.ID] = true
+	}
+	return out
+}
+
+// mutation is one canonical malicious action a technician could attempt.
+type mutation struct {
+	action   string
+	resource string
+	apply    func(n *netmodel.Network)
+}
+
+// potentialViolations searches allowed mutations on visible nodes and
+// returns how many policies become newly violated by at least one of them.
+func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, spec *privilege.Spec,
+	full bool, slice map[string]bool, pre map[string]bool) int {
+
+	// Hijack targets: every host subnet (a /24 route outranks the OSPF
+	// routes protecting it).
+	var hijacks []netip.Prefix
+	seen := map[netip.Prefix]bool{}
+	for _, host := range ev.Base.Hosts() {
+		if a, ok := ev.Base.HostAddr(host); ok {
+			p := netip.PrefixFrom(a, 24).Masked()
+			if !seen[p] {
+				seen[p] = true
+				hijacks = append(hijacks, p)
+			}
+		}
+	}
+
+	var muts []mutation
+	var devs []string
+	for dev := range slice {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	for _, dev := range devs {
+		d := faulted.Devices[dev]
+		if d == nil {
+			continue
+		}
+		muts = append(muts, deviceMutations(d, hijacks)...)
+	}
+
+	violated := make(map[string]bool)
+	evaluated := 0
+	for _, m := range muts {
+		if ev.MutationBudget > 0 && evaluated >= ev.MutationBudget {
+			break
+		}
+		if len(violated) == len(ev.Policies) {
+			break // everything violable already
+		}
+		if !full && !spec.Allows(m.action, m.resource) {
+			continue
+		}
+		evaluated++
+		trial := faulted.Clone()
+		m.apply(trial)
+		for _, v := range verify.Check(dataplane.Compute(trial), ev.Policies).Violations {
+			if !pre[v.Policy.ID] {
+				violated[v.Policy.ID] = true
+			}
+		}
+	}
+	return len(violated)
+}
+
+// deviceMutations enumerates the canonical malicious actions on one device.
+func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
+	dev := d.Name
+	var out []mutation
+
+	// Shut every interface down.
+	for _, ifName := range d.InterfaceNames() {
+		name := ifName
+		out = append(out, mutation{
+			action:   "config.interface.set",
+			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
+			apply: func(n *netmodel.Network) {
+				if itf := n.Devices[dev].Interface(name); itf != nil {
+					itf.Shutdown = true
+				}
+			},
+		})
+	}
+
+	// Poison every ACL: blanket deny (breaks reachability) and blanket
+	// permit (breaks isolation), plus removing the first entry.
+	for _, aclName := range d.ACLNames() {
+		name := aclName
+		for _, act := range []netmodel.ACLAction{netmodel.Deny, netmodel.Permit} {
+			action := act
+			out = append(out, mutation{
+				action:   "config.acl.add",
+				resource: fmt.Sprintf("device:%s:acl:%s", dev, name),
+				apply: func(n *netmodel.Network) {
+					n.Devices[dev].ACL(name, true).InsertEntry(netmodel.ACLEntry{
+						Seq: 1, Action: action, Proto: netmodel.AnyProto,
+					})
+				},
+			})
+		}
+		out = append(out, mutation{
+			action:   "config.acl.remove",
+			resource: fmt.Sprintf("device:%s:acl:%s", dev, name),
+			apply: func(n *netmodel.Network) {
+				a := n.Devices[dev].ACL(name, false)
+				if a != nil && len(a.Entries) > 0 {
+					a.RemoveEntry(a.Entries[0].Seq)
+				}
+			},
+		})
+	}
+
+	// Route manipulation: blackhole routes (next hop resolving to no
+	// neighbor) for each host subnet — a /24 static outranks the OSPF
+	// route protecting it — plus a blackhole default.
+	if blackhole := unownedNeighborAddr(d); blackhole.IsValid() && d.Kind != netmodel.Host {
+		targets := append([]netip.Prefix{netip.MustParsePrefix("0.0.0.0/0")}, hijacks...)
+		for _, p := range targets {
+			prefix := p
+			out = append(out, mutation{
+				action:   "config.route.add",
+				resource: fmt.Sprintf("device:%s:route:%s", dev, prefix),
+				apply: func(n *netmodel.Network) {
+					n.Devices[dev].StaticRoutes = append(n.Devices[dev].StaticRoutes,
+						netmodel.StaticRoute{Prefix: prefix, NextHop: blackhole})
+				},
+			})
+		}
+	}
+
+	// Silence OSPF entirely.
+	if d.OSPF != nil {
+		out = append(out, mutation{
+			action:   "config.ospf.set",
+			resource: fmt.Sprintf("device:%s:ospf", dev),
+			apply: func(n *netmodel.Network) {
+				dd := n.Devices[dev]
+				for _, ifName := range dd.InterfaceNames() {
+					dd.OSPF.Passive[ifName] = true
+				}
+			},
+		})
+	}
+
+	// Break L2: delete VLANs, move access ports.
+	for _, id := range d.VLANIDs() {
+		vid := id
+		out = append(out, mutation{
+			action:   "config.vlan.remove",
+			resource: fmt.Sprintf("device:%s:vlan:%d", dev, vid),
+			apply: func(n *netmodel.Network) {
+				delete(n.Devices[dev].VLANs, vid)
+			},
+		})
+	}
+	for _, ifName := range d.InterfaceNames() {
+		itf := d.Interfaces[ifName]
+		if itf.Mode != netmodel.Access {
+			continue
+		}
+		name := ifName
+		out = append(out, mutation{
+			action:   "config.interface.set",
+			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
+			apply: func(n *netmodel.Network) {
+				n.Devices[dev].Interface(name).AccessVLAN = 999
+			},
+		})
+	}
+
+	// Blackhole a host by rewriting its gateway.
+	if d.Kind == netmodel.Host {
+		out = append(out, mutation{
+			action:   "config.gateway.set",
+			resource: fmt.Sprintf("device:%s:gateway", dev),
+			apply: func(n *netmodel.Network) {
+				n.Devices[dev].DefaultGateway = netip.MustParseAddr("192.0.2.254")
+			},
+		})
+	}
+	return out
+}
+
+// unownedNeighborAddr finds an address on one of the device's connected
+// subnets that no device owns — the perfect blackhole next hop.
+func unownedNeighborAddr(d *netmodel.Device) netip.Addr {
+	for _, ifName := range d.InterfaceNames() {
+		itf := d.Interfaces[ifName]
+		if !itf.Up() || !itf.HasAddr() || itf.Addr.Bits() > 30 {
+			continue
+		}
+		base := itf.Addr.Masked().Addr().As4()
+		// .3 of a /30 or .250 of anything wider is never assigned by the
+		// scenario generators.
+		if itf.Addr.Bits() == 30 {
+			return netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + 3})
+		}
+		return netip.AddrFrom4([4]byte{base[0], base[1], base[2], 250})
+	}
+	return netip.Addr{}
+}

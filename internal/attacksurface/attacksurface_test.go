@@ -1,0 +1,121 @@
+package attacksurface
+
+import (
+	"testing"
+
+	"heimdall/internal/scenarios"
+)
+
+func TestInterfaceFaultsEnumeration(t *testing.T) {
+	s := scenarios.Enterprise()
+	cases := InterfaceFaults(s.Network)
+	if len(cases) < 10 {
+		t.Fatalf("too few fault cases: %d", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, fc := range cases {
+		if seen[fc.Fault.Name] {
+			t.Errorf("duplicate fault %s", fc.Fault.Name)
+		}
+		seen[fc.Fault.Name] = true
+		if fc.Src == "" || fc.Dst == "" || fc.Fault.RootCause == "" {
+			t.Errorf("incomplete case %+v", fc)
+		}
+		if s.Network.Devices[fc.Fault.RootCause].Kind == 2 /* Host */ {
+			t.Errorf("fault on a host: %+v", fc)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mutation search is slow")
+	}
+	s := scenarios.Enterprise()
+	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive}
+	cases := InterfaceFaults(s.Network)
+
+	all := ev.Evaluate(All, cases)
+	nb := ev.Evaluate(Neighbor, cases)
+	hd := ev.Evaluate(Heimdall, cases)
+	t.Logf("All:      %s", all)
+	t.Logf("Neighbor: %s", nb)
+	t.Logf("Heimdall: %s", hd)
+
+	// Paper shape (Figure 8): All is fully feasible with the largest
+	// surface; Neighbor is cheap but often infeasible; Heimdall keeps
+	// feasibility close to All with the smallest surface.
+	if all.Feasibility() != 1.0 {
+		t.Errorf("All feasibility = %v, want 1.0", all.Feasibility())
+	}
+	if nb.Feasibility() >= all.Feasibility() {
+		t.Errorf("Neighbor feasibility %v should be below All", nb.Feasibility())
+	}
+	if hd.Feasibility() < 0.9 {
+		t.Errorf("Heimdall feasibility = %v, want ≈1.0", hd.Feasibility())
+	}
+	if !(all.MeanSurface() > nb.MeanSurface()) {
+		t.Errorf("surface: All %.1f should exceed Neighbor %.1f", all.MeanSurface(), nb.MeanSurface())
+	}
+	if !(nb.MeanSurface() > hd.MeanSurface()) {
+		t.Errorf("surface: Neighbor %.1f should exceed Heimdall %.1f", nb.MeanSurface(), hd.MeanSurface())
+	}
+	// The headline claim: Heimdall reduces attack surface substantially
+	// (the paper reports up to 39 percentage points vs the baselines).
+	if all.MeanSurface()-hd.MeanSurface() < 20 {
+		t.Errorf("reduction All->Heimdall = %.1f points, want > 20",
+			all.MeanSurface()-hd.MeanSurface())
+	}
+}
+
+func TestMutationBudgetBounds(t *testing.T) {
+	s := scenarios.Enterprise()
+	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive, MutationBudget: 3}
+	cases := InterfaceFaults(s.Network)[:2]
+	res := ev.Evaluate(All, cases)
+	if len(res.Samples) != 2 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	for _, sm := range res.Samples {
+		if sm.Surface < 0 || sm.Surface > 100 {
+			t.Errorf("surface out of range: %v", sm.Surface)
+		}
+		if sm.ExposedRatio != 1.0 {
+			t.Errorf("All should expose everything, got %v", sm.ExposedRatio)
+		}
+	}
+}
+
+func TestHeimdallExposesLessThanAll(t *testing.T) {
+	s := scenarios.Enterprise()
+	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive, MutationBudget: 1}
+	cases := InterfaceFaults(s.Network)[:3]
+	all := ev.Evaluate(All, cases)
+	hd := ev.Evaluate(Heimdall, cases)
+	for i := range all.Samples {
+		if hd.Samples[i].ExposedRatio >= all.Samples[i].ExposedRatio {
+			t.Errorf("case %d: Heimdall exposed %v >= All %v", i,
+				hd.Samples[i].ExposedRatio, all.Samples[i].ExposedRatio)
+		}
+		if hd.Samples[i].VisibleNodes > all.Samples[i].VisibleNodes {
+			t.Errorf("case %d: Heimdall sees more nodes than All", i)
+		}
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	r := &Result{Technique: "x"}
+	if r.Feasibility() != 0 || r.MeanSurface() != 0 {
+		t.Fatal("empty result should aggregate to zero")
+	}
+	r.Samples = []Sample{{Feasible: true, Surface: 40}, {Feasible: false, Surface: 20}}
+	if r.Feasibility() != 0.5 {
+		t.Fatalf("feasibility = %v", r.Feasibility())
+	}
+	if r.MeanSurface() != 30 {
+		t.Fatalf("mean surface = %v", r.MeanSurface())
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TicketReport is the per-ticket review summary an auditor reads after the
+// fact — the paper's "audit trails ... reviewed later to analyze a
+// technician's network modifications" (§3, Challenge 3).
+type TicketReport struct {
+	Ticket      string
+	Technicians []string
+	First, Last time.Time
+
+	Commands    int
+	Denials     []string // denied decisions, in order
+	Changes     []string // changes applied to production
+	Escalations []string
+	Emergency   bool
+	VerifyRuns  int
+	Rollbacks   int
+}
+
+// Summarize groups a trail's entries into per-ticket reports, sorted by
+// ticket ID.
+func Summarize(entries []Entry) []TicketReport {
+	byTicket := make(map[string]*TicketReport)
+	for _, e := range entries {
+		r, ok := byTicket[e.Ticket]
+		if !ok {
+			r = &TicketReport{Ticket: e.Ticket, First: e.Time}
+			byTicket[e.Ticket] = r
+		}
+		if e.Time.Before(r.First) {
+			r.First = e.Time
+		}
+		if e.Time.After(r.Last) {
+			r.Last = e.Time
+		}
+		if e.Technician != "" && !contains(r.Technicians, e.Technician) {
+			r.Technicians = append(r.Technicians, e.Technician)
+		}
+		if strings.Contains(e.Detail, "EMERGENCY") {
+			r.Emergency = true
+		}
+		switch e.Kind {
+		case KindCommand:
+			r.Commands++
+		case KindDecision:
+			if !e.Allowed {
+				r.Denials = append(r.Denials, e.Detail)
+			}
+		case KindChange:
+			if strings.HasPrefix(e.Detail, "ROLLBACK") {
+				r.Rollbacks++
+			} else {
+				r.Changes = append(r.Changes, e.Detail)
+			}
+		case KindVerify:
+			r.VerifyRuns++
+		case KindEscalation:
+			r.Escalations = append(r.Escalations, e.Detail)
+		}
+	}
+	out := make([]TicketReport, 0, len(byTicket))
+	for _, r := range byTicket {
+		sort.Strings(r.Technicians)
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ticket < out[j].Ticket })
+	return out
+}
+
+// String renders the report for the auditor.
+func (r TicketReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ticket %s  technicians=%s  window=%s..%s\n",
+		r.Ticket, strings.Join(r.Technicians, ","),
+		r.First.Format(time.TimeOnly), r.Last.Format(time.TimeOnly))
+	fmt.Fprintf(&b, "  commands=%d  denials=%d  changes=%d  verify-runs=%d  rollbacks=%d",
+		r.Commands, len(r.Denials), len(r.Changes), r.VerifyRuns, r.Rollbacks)
+	if r.Emergency {
+		b.WriteString("  EMERGENCY-MODE")
+	}
+	if len(r.Escalations) > 0 {
+		fmt.Fprintf(&b, "  escalations=%d", len(r.Escalations))
+	}
+	for _, d := range r.Denials {
+		fmt.Fprintf(&b, "\n  DENIED: %s", d)
+	}
+	for _, c := range r.Changes {
+		fmt.Fprintf(&b, "\n  CHANGE: %s", c)
+	}
+	return b.String()
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that everything it accepts
+// survives a Print/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleRouter)
+	f.Add(sampleBGPRouter)
+	f.Add("hostname x\n")
+	f.Add("interface Gi0/0\n ip address 10.0.0.1 255.0.0.0\n")
+	f.Add("ip access-list extended A\n 10 permit tcp any host 1.2.3.4 eq 80\n")
+	f.Add("router ospf 1\n network 10.0.0.0 0.255.255.255 area 0\n")
+	f.Add("router bgp 65001\n neighbor 1.2.3.4 remote-as 65002\n")
+	f.Add("vlan 10\n name users\n")
+	f.Add("! kind: host\nip default-gateway 10.0.0.1\n")
+	f.Add("ip route 0.0.0.0 0.0.0.0 10.0.0.1 200\n")
+	f.Add("!\n \n\t\n")
+	f.Add("interface\n")
+	f.Add(" orphan indent\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse("fuzz", text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted configs must round-trip semantically.
+		printed := Print(d)
+		d2, err := Parse("fuzz", printed)
+		if err != nil {
+			t.Fatalf("re-parse of printed config failed: %v\ninput: %q\nprinted:\n%s", err, text, printed)
+		}
+		// And printing must be canonical (fixed point after one cycle).
+		if printed2 := Print(d2); printed2 != printed {
+			t.Fatalf("printing not canonical for input %q", text)
+		}
+	})
+}
+
+// FuzzParseACLEntry checks the shared ACL entry grammar in isolation.
+func FuzzParseACLEntry(f *testing.F) {
+	f.Add("10 permit ip any any")
+	f.Add("20 deny tcp 10.0.0.0 0.0.0.255 eq 80 host 1.2.3.4 eq 443")
+	f.Add("30 permit udp host 8.8.8.8 eq 53 any")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseACLEntry(strings.Fields(line))
+		if err != nil {
+			return
+		}
+		// Round trip through the formatter.
+		e2, err := ParseACLEntry(strings.Fields(FormatACLEntry(&e)))
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", FormatACLEntry(&e), err)
+		}
+		if e != e2 {
+			t.Fatalf("ACL entry round trip: %+v vs %+v", e, e2)
+		}
+	})
+}

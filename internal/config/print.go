@@ -1,0 +1,214 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"heimdall/internal/netmodel"
+)
+
+// Print renders a device model as canonical configuration text. Print and
+// Parse round-trip: Parse(Print(d)) yields a device semantically equal to d.
+// Output is deterministic (sections and names are sorted) so diffs of
+// rendered text are stable.
+func Print(d *netmodel.Device) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "! kind: %s\n", d.Kind)
+	fmt.Fprintf(&b, "hostname %s\n!\n", d.Name)
+
+	for _, k := range sortedSecretKinds(d) {
+		switch k {
+		case "enable":
+			fmt.Fprintf(&b, "enable secret %s\n", d.Secrets[k])
+		case "snmp":
+			fmt.Fprintf(&b, "snmp-server community %s RO\n", d.Secrets[k])
+		case "isakmp":
+			fmt.Fprintf(&b, "crypto isakmp key %s address 0.0.0.0\n", d.Secrets[k])
+		}
+	}
+	if len(d.Secrets) > 0 {
+		b.WriteString("!\n")
+	}
+
+	for _, id := range d.VLANIDs() {
+		v := d.VLANs[id]
+		fmt.Fprintf(&b, "vlan %d\n", v.ID)
+		if v.Name != "" {
+			fmt.Fprintf(&b, " name %s\n", v.Name)
+		}
+		b.WriteString("!\n")
+	}
+
+	for _, name := range d.InterfaceNames() {
+		printInterface(&b, d.Interfaces[name])
+	}
+
+	for _, name := range d.ACLNames() {
+		a := d.ACLs[name]
+		fmt.Fprintf(&b, "ip access-list extended %s\n", a.Name)
+		for i := range a.Entries {
+			fmt.Fprintf(&b, " %s\n", FormatACLEntry(&a.Entries[i]))
+		}
+		b.WriteString("!\n")
+	}
+
+	routes := append([]netmodel.StaticRoute(nil), d.StaticRoutes...)
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Prefix != routes[j].Prefix {
+			return routes[i].Prefix.String() < routes[j].Prefix.String()
+		}
+		return routes[i].NextHop.Less(routes[j].NextHop)
+	})
+	for _, r := range routes {
+		fmt.Fprintf(&b, "ip route %s %s %s", r.Prefix.Addr(), bitsToMask(r.Prefix.Bits()), r.NextHop)
+		if r.Distance != 0 {
+			fmt.Fprintf(&b, " %d", r.Distance)
+		}
+		b.WriteString("\n")
+	}
+	if len(routes) > 0 {
+		b.WriteString("!\n")
+	}
+
+	if d.DefaultGateway.IsValid() {
+		fmt.Fprintf(&b, "ip default-gateway %s\n!\n", d.DefaultGateway)
+	}
+
+	if o := d.OSPF; o != nil {
+		fmt.Fprintf(&b, "router ospf %d\n", o.ProcessID)
+		if o.RouterID.IsValid() {
+			fmt.Fprintf(&b, " router-id %s\n", o.RouterID)
+		}
+		for _, n := range o.Networks {
+			fmt.Fprintf(&b, " network %s %s area %d\n", n.Prefix.Addr(), bitsToWildcard(n.Prefix.Bits()), n.Area)
+		}
+		var passive []string
+		for name, on := range o.Passive {
+			if on {
+				passive = append(passive, name)
+			}
+		}
+		sort.Strings(passive)
+		for _, name := range passive {
+			fmt.Fprintf(&b, " passive-interface %s\n", name)
+		}
+		b.WriteString("!\n")
+	}
+	if g := d.BGP; g != nil {
+		fmt.Fprintf(&b, "router bgp %d\n", g.LocalAS)
+		if g.RouterID.IsValid() {
+			fmt.Fprintf(&b, " bgp router-id %s\n", g.RouterID)
+		}
+		for _, nb := range g.Neighbors {
+			fmt.Fprintf(&b, " neighbor %s remote-as %d\n", nb.Addr, nb.RemoteAS)
+		}
+		for _, net := range g.Networks {
+			fmt.Fprintf(&b, " network %s mask %s\n", net.Addr(), bitsToMask(net.Bits()))
+		}
+		if g.RedistributeConnected {
+			b.WriteString(" redistribute connected\n")
+		}
+		b.WriteString("!\n")
+	}
+	b.WriteString("end\n")
+	// "end" is cosmetic; Parse treats it as unknown, so strip it on input.
+	return strings.Replace(b.String(), "end\n", "! end\n", 1)
+}
+
+func sortedSecretKinds(d *netmodel.Device) []string {
+	kinds := make([]string, 0, len(d.Secrets))
+	for k := range d.Secrets {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func printInterface(b *strings.Builder, itf *netmodel.Interface) {
+	fmt.Fprintf(b, "interface %s\n", itf.Name)
+	if itf.Description != "" {
+		fmt.Fprintf(b, " description %s\n", itf.Description)
+	}
+	switch itf.Mode {
+	case netmodel.Access:
+		fmt.Fprintf(b, " switchport mode access\n")
+		if itf.AccessVLAN != 0 {
+			fmt.Fprintf(b, " switchport access vlan %d\n", itf.AccessVLAN)
+		}
+	case netmodel.Trunk:
+		fmt.Fprintf(b, " switchport mode trunk\n")
+		if len(itf.TrunkVLANs) > 0 {
+			strs := make([]string, len(itf.TrunkVLANs))
+			for i, v := range itf.TrunkVLANs {
+				strs[i] = fmt.Sprintf("%d", v)
+			}
+			fmt.Fprintf(b, " switchport trunk allowed vlan %s\n", strings.Join(strs, ","))
+		}
+	}
+	if itf.HasAddr() {
+		fmt.Fprintf(b, " ip address %s %s\n", itf.Addr.Addr(), bitsToMask(itf.Addr.Bits()))
+	}
+	if itf.OSPFCost != 0 {
+		fmt.Fprintf(b, " ip ospf cost %d\n", itf.OSPFCost)
+	}
+	if itf.ACLIn != "" {
+		fmt.Fprintf(b, " ip access-group %s in\n", itf.ACLIn)
+	}
+	if itf.ACLOut != "" {
+		fmt.Fprintf(b, " ip access-group %s out\n", itf.ACLOut)
+	}
+	if itf.Shutdown {
+		fmt.Fprintf(b, " shutdown\n")
+	} else {
+		fmt.Fprintf(b, " no shutdown\n")
+	}
+	b.WriteString("!\n")
+}
+
+// FormatACLEntry renders one ACL entry in IOS syntax.
+func FormatACLEntry(e *netmodel.ACLEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %s %s", e.Seq, e.Action, e.Proto)
+	writeSpec := func(pfx netip.Prefix, port uint16) {
+		switch {
+		case !pfx.IsValid():
+			b.WriteString(" any")
+		case pfx.Bits() == 32:
+			fmt.Fprintf(&b, " host %s", pfx.Addr())
+		default:
+			fmt.Fprintf(&b, " %s %s", pfx.Masked().Addr(), bitsToWildcard(pfx.Bits()))
+		}
+		if port != 0 {
+			fmt.Fprintf(&b, " eq %d", port)
+		}
+	}
+	writeSpec(e.Src, e.SrcPort)
+	writeSpec(e.Dst, e.DstPort)
+	return b.String()
+}
+
+// CountLines returns the number of configuration lines (non-blank, non-"!")
+// in the text, the unit used by Table 1's "lines of configs" column.
+func CountLines(text string) int {
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Sanitize returns a copy of the device with secret material removed,
+// applied to every device config before it enters the twin network.
+func Sanitize(d *netmodel.Device) *netmodel.Device {
+	c := d.Clone()
+	for k := range c.Secrets {
+		c.Secrets[k] = "<redacted>"
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/twin"
+)
+
+// Forensic replay (paper §3, Challenge 3): the audit trail must let the
+// customer reconstruct, after the fact, exactly what a technician did.
+// ReplayTicket re-executes the allowed commands of one ticket — extracted
+// from a verified trail — against a fresh twin of the incident-time
+// baseline, so an auditor can inspect the resulting state and semantic
+// diff independently of what the technician claimed.
+
+// ReplayedCommand is one trail command with its replay outcome.
+type ReplayedCommand struct {
+	Device string
+	Line   string
+	// AllowedThen reports the original reference-monitor decision.
+	AllowedThen bool
+	// Output is the replayed command output (empty for denied commands,
+	// which are not re-executed).
+	Output string
+}
+
+// Replay is the result of re-executing a ticket's session.
+type Replay struct {
+	Ticket   string
+	Commands []ReplayedCommand
+	// Twin is the replayed twin network, ready for inspection.
+	Twin *twin.Twin
+	// Changes is the semantic diff the replay produced.
+	Changes []config.Change
+}
+
+// ReplayTicket verifies the trail, extracts the mediated twin commands of
+// the ticket, and replays the allowed ones on a twin built from baseline
+// (the production state at incident time, e.g. restored from backup).
+func ReplayTicket(trail *audit.Trail, ticketID string, baseline *netmodel.Network) (*Replay, error) {
+	if err := trail.Verify(); err != nil {
+		return nil, fmt.Errorf("core: refusing to replay a tampered trail: %w", err)
+	}
+	// Replay runs unrestricted: the privilege decisions being audited are
+	// taken from the trail itself, not re-derived.
+	allowAll := &privilege.Spec{Ticket: ticketID, Technician: "auditor", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "*", Resource: "*"},
+	}}
+	tw, err := twin.New(twin.Config{
+		Ticket: ticketID, Technician: "auditor",
+		Production: baseline, Spec: allowAll,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	entries := trail.Entries()
+	replay := &Replay{Ticket: ticketID, Twin: tw}
+	sessions := make(map[string]*twin.Session)
+	for i, e := range entries {
+		if e.Ticket != ticketID || e.Kind != audit.KindCommand {
+			continue
+		}
+		dev, line, ok := parseCommandDetail(e.Detail)
+		if !ok {
+			continue // parse errors and emergency entries are skipped
+		}
+		allowed := decisionFor(entries, i, ticketID)
+		rc := ReplayedCommand{Device: dev, Line: line, AllowedThen: allowed}
+		if allowed {
+			sess, ok := sessions[dev]
+			if !ok {
+				sess, err = tw.OpenConsole(dev)
+				if err != nil {
+					return nil, fmt.Errorf("core: replay console on %s: %w", dev, err)
+				}
+				sessions[dev] = sess
+			}
+			out, err := sess.Exec(line)
+			if err != nil {
+				return nil, fmt.Errorf("core: replaying %q on %s: %w", line, dev, err)
+			}
+			rc.Output = out
+		}
+		replay.Commands = append(replay.Commands, rc)
+	}
+	replay.Changes = tw.Changes()
+	return replay, nil
+}
+
+// parseCommandDetail extracts device and line from a "[dev] line" command
+// entry, rejecting parse failures and EMERGENCY entries (those executed
+// against production, not the twin).
+func parseCommandDetail(detail string) (dev, line string, ok bool) {
+	if strings.HasPrefix(detail, "EMERGENCY") {
+		return "", "", false
+	}
+	if strings.HasSuffix(detail, "(parse error)") || strings.Contains(detail, " failed: ") {
+		return "", "", false
+	}
+	if !strings.HasPrefix(detail, "[") {
+		return "", "", false
+	}
+	end := strings.IndexByte(detail, ']')
+	if end < 0 || end+2 > len(detail) {
+		return "", "", false
+	}
+	return detail[1:end], detail[end+2:], true
+}
+
+// decisionFor finds the reference-monitor decision that follows a command
+// entry: the next entry of the same ticket (the twin logs command, then
+// decision; entries of concurrent tickets may interleave between them).
+func decisionFor(entries []audit.Entry, cmdIdx int, ticketID string) bool {
+	for j := cmdIdx + 1; j < len(entries); j++ {
+		if entries[j].Ticket != ticketID {
+			continue
+		}
+		if entries[j].Kind == audit.KindDecision {
+			return entries[j].Allowed
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"heimdall/internal/twin"
+)
+
+// EngagementBackend adapts engagements to the rmm.Backend interface, so
+// Heimdall slots into the existing RMM client-server tooling unchanged
+// (paper §3's compatibility requirement): the technician logs into the
+// same kind of central server, but their commands land in a twin network
+// behind the reference monitor instead of on production devices.
+//
+// It satisfies rmm.Backend structurally; core does not import rmm.
+type EngagementBackend struct {
+	mu          sync.Mutex
+	engagements map[string]*Engagement
+	sessions    map[string]map[string]*twin.Session
+}
+
+// NewEngagementBackend returns an empty backend.
+func NewEngagementBackend() *EngagementBackend {
+	return &EngagementBackend{
+		engagements: make(map[string]*Engagement),
+		sessions:    make(map[string]map[string]*twin.Session),
+	}
+}
+
+// Register binds a technician's RMM login to their engagement. A second
+// registration replaces the first (new ticket, fresh twin).
+func (b *EngagementBackend) Register(technician string, eng *Engagement) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.engagements[technician] = eng
+	b.sessions[technician] = make(map[string]*twin.Session)
+}
+
+// Devices implements rmm.Backend: only the twin's presentation slice.
+func (b *EngagementBackend) Devices(technician string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eng, ok := b.engagements[technician]
+	if !ok {
+		return nil
+	}
+	return eng.Twin.VisibleDevices()
+}
+
+// Exec implements rmm.Backend: commands run through the twin's mediated
+// sessions, one cached session per (technician, device).
+func (b *EngagementBackend) Exec(technician, device, line string) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eng, ok := b.engagements[technician]
+	if !ok {
+		return "", fmt.Errorf("core: no engagement for technician %q", technician)
+	}
+	sess, ok := b.sessions[technician][device]
+	if !ok {
+		var err error
+		sess, err = eng.Console(device)
+		if err != nil {
+			return "", err
+		}
+		b.sessions[technician][device] = sess
+	}
+	return sess.Exec(line)
+}

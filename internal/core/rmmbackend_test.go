@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"heimdall/internal/rmm"
+)
+
+// TestHeimdallOverRMM runs the full workflow with the technician connected
+// through the RMM TCP protocol — the same tooling as the insecure
+// baseline, but backed by the twin network and reference monitor.
+func TestHeimdallOverRMM(t *testing.T) {
+	sys, issue := newFaultedSystem(t, "isp")
+	tk := fileIssue(sys, issue)
+	eng, err := sys.StartWork(tk.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend := NewEngagementBackend()
+	backend.Register("alice", eng)
+	srv := rmm.NewServer(map[string]string{"alice": "tok-a", "bob": "tok-b"}, backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := rmm.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The technician only sees the slice, not the whole network.
+	devs, err := client.Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) >= len(sys.Production().Devices) {
+		t.Fatalf("RMM exposes %d devices; slice should be smaller", len(devs))
+	}
+	seen := map[string]bool{}
+	for _, d := range devs {
+		seen[d] = true
+	}
+	if seen["h9"] {
+		t.Fatal("sensitive host visible over RMM")
+	}
+
+	// Run the prepared script over the wire.
+	for _, cmd := range issue.Script {
+		if _, err := client.Exec(cmd.Device, cmd.Line); err != nil {
+			t.Fatalf("%s on %s over RMM: %v", cmd.Line, cmd.Device, err)
+		}
+	}
+	// Privilege denials travel back as protocol errors.
+	if _, err := client.Exec("r3", "access-list EVIL 10 permit ip any any"); err == nil ||
+		!strings.Contains(err.Error(), "permission denied") {
+		t.Fatalf("denied command over RMM: %v", err)
+	}
+	// Out-of-slice devices are invisible.
+	if _, err := client.Exec("h9", "show interfaces"); err == nil {
+		t.Fatal("out-of-slice exec accepted")
+	}
+	// A technician without an engagement gets nothing.
+	bob, err := rmm.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	if err := bob.Login("bob", "tok-b"); err != nil {
+		t.Fatal(err)
+	}
+	if devs, _ := bob.Devices(); len(devs) != 0 {
+		t.Fatalf("bob sees %v without an engagement", devs)
+	}
+	if _, err := bob.Exec("r3", "show ip route"); err == nil {
+		t.Fatal("engagement-less exec accepted")
+	}
+
+	// Commit from the admin side; production gets the verified fix.
+	if ok, _ := eng.SymptomResolved(); !ok {
+		t.Fatal("symptom unresolved in twin")
+	}
+	if _, err := eng.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package dataplane
+
+import (
+	"sort"
+	"strconv"
+
+	"heimdall/internal/netmodel"
+)
+
+// l2node identifies a VLAN broadcast domain on one switch.
+type l2node struct {
+	sw   string
+	vlan int
+}
+
+// adjacency maps every L3 endpoint to the set of L3 endpoints it can reach
+// directly at L2 (same cable or same switched broadcast domain).
+type adjacency map[netmodel.Endpoint][]netmodel.Endpoint
+
+// l3Endpoint reports whether the interface is an L3 endpoint that can
+// source or sink routed traffic: up, addressed, and either a routed port or
+// an SVI.
+func l3Endpoint(itf *netmodel.Interface) bool {
+	return itf.Up() && itf.HasAddr() && (itf.Mode == netmodel.Routed || itf.IsSVI())
+}
+
+// computeAdjacency derives the L2 adjacency between all L3 endpoints of the
+// network. Two endpoints are adjacent when a frame can travel between them
+// without crossing an L3 hop: either they share a cable, or a path of
+// switch broadcast domains connects them.
+func computeAdjacency(n *netmodel.Network) adjacency {
+	// Union-find over L2 nodes plus virtual nodes for each L3 endpoint.
+	uf := newUnionFind()
+
+	epKey := func(ep netmodel.Endpoint) string { return "ep|" + ep.Device + "|" + ep.Interface }
+	vlKey := func(v l2node) string { return "vl|" + v.sw + "|" + strconv.Itoa(v.vlan) }
+
+	// Switch fabric: ports of the same VLAN on one switch share a domain
+	// implicitly via the vlKey node; inter-switch links join domains.
+	for _, l := range n.Links {
+		a, b := l.A, l.B
+		da, db := n.Devices[a.Device], n.Devices[b.Device]
+		if da == nil || db == nil {
+			continue
+		}
+		ia, ib := da.Interface(a.Interface), db.Interface(b.Interface)
+		if ia == nil || ib == nil || !ia.Up() || !ib.Up() {
+			continue
+		}
+		switch {
+		case isSwitchPort(da, ia) && isSwitchPort(db, ib):
+			joinSwitchLink(uf, vlKey, a.Device, ia, b.Device, ib)
+		case isSwitchPort(da, ia) && l3Endpoint(ib) && ib.Mode == netmodel.Routed:
+			attachToSwitch(uf, vlKey, epKey(b), a.Device, ia)
+		case isSwitchPort(db, ib) && l3Endpoint(ia) && ia.Mode == netmodel.Routed:
+			attachToSwitch(uf, vlKey, epKey(a), b.Device, ib)
+		case l3Endpoint(ia) && l3Endpoint(ib):
+			uf.union(epKey(a), epKey(b))
+		}
+	}
+
+	// SVIs attach to their own switch's VLAN domain.
+	var endpoints []netmodel.Endpoint
+	for _, devName := range n.DeviceNames() {
+		d := n.Devices[devName]
+		for _, ifName := range d.InterfaceNames() {
+			itf := d.Interfaces[ifName]
+			if !l3Endpoint(itf) {
+				continue
+			}
+			ep := netmodel.Endpoint{Device: devName, Interface: ifName}
+			endpoints = append(endpoints, ep)
+			uf.find(epKey(ep)) // ensure the node exists even if isolated
+			if itf.IsSVI() && d.Kind == netmodel.Switch {
+				uf.union(epKey(ep), vlKey(l2node{sw: devName, vlan: itf.SVIVLAN()}))
+			}
+		}
+	}
+
+	// Group endpoints by component.
+	groups := make(map[string][]netmodel.Endpoint)
+	for _, ep := range endpoints {
+		root := uf.find(epKey(ep))
+		groups[root] = append(groups[root], ep)
+	}
+	adj := make(adjacency, len(endpoints))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Device != members[j].Device {
+				return members[i].Device < members[j].Device
+			}
+			return members[i].Interface < members[j].Interface
+		})
+		for _, ep := range members {
+			for _, other := range members {
+				if other != ep {
+					adj[ep] = append(adj[ep], other)
+				}
+			}
+			if adj[ep] == nil {
+				adj[ep] = []netmodel.Endpoint{}
+			}
+		}
+	}
+	return adj
+}
+
+// isSwitchPort reports whether the interface is an L2 port on a switch.
+func isSwitchPort(d *netmodel.Device, itf *netmodel.Interface) bool {
+	return d.Kind == netmodel.Switch && !itf.IsSVI() &&
+		(itf.Mode == netmodel.Access || itf.Mode == netmodel.Trunk)
+}
+
+// joinSwitchLink connects the VLAN domains bridged by a switch-to-switch
+// cable. Access-to-access bridges the two (possibly different!) access
+// VLANs — faithfully reproducing the classic VLAN-mismatch misconfiguration.
+// Trunks bridge every VLAN allowed on both sides; an access-to-trunk link
+// bridges the access VLAN when the trunk allows it.
+func joinSwitchLink(uf *unionFind, vlKey func(l2node) string, swA string, ia *netmodel.Interface, swB string, ib *netmodel.Interface) {
+	switch {
+	case ia.Mode == netmodel.Access && ib.Mode == netmodel.Access:
+		uf.union(vlKey(l2node{swA, ia.AccessVLAN}), vlKey(l2node{swB, ib.AccessVLAN}))
+	case ia.Mode == netmodel.Trunk && ib.Mode == netmodel.Trunk:
+		for _, v := range ia.TrunkVLANs {
+			if ib.CarriesVLAN(v) {
+				uf.union(vlKey(l2node{swA, v}), vlKey(l2node{swB, v}))
+			}
+		}
+	case ia.Mode == netmodel.Access && ib.Mode == netmodel.Trunk:
+		if ib.CarriesVLAN(ia.AccessVLAN) {
+			uf.union(vlKey(l2node{swA, ia.AccessVLAN}), vlKey(l2node{swB, ia.AccessVLAN}))
+		}
+	case ia.Mode == netmodel.Trunk && ib.Mode == netmodel.Access:
+		if ia.CarriesVLAN(ib.AccessVLAN) {
+			uf.union(vlKey(l2node{swA, ib.AccessVLAN}), vlKey(l2node{swB, ib.AccessVLAN}))
+		}
+	}
+}
+
+// attachToSwitch joins an L3 endpoint to the VLAN domain behind a switch
+// port. Only access ports attach routed neighbours (router-on-a-trunk
+// subinterfaces are out of scope).
+func attachToSwitch(uf *unionFind, vlKey func(l2node) string, epNode string, sw string, port *netmodel.Interface) {
+	if port.Mode == netmodel.Access {
+		uf.union(epNode, vlKey(l2node{sw, port.AccessVLAN}))
+	}
+}
+
+// unionFind is a string-keyed disjoint-set structure.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string)}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

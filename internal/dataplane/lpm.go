@@ -1,0 +1,78 @@
+// Package dataplane computes the forwarding behaviour of a modeled network:
+// L2 adjacency (switch fabrics, VLANs), per-device routing tables
+// (connected, static, OSPF), longest-prefix-match FIBs, and hop-by-hop
+// packet traces with ACL evaluation.
+//
+// A Snapshot freezes the behaviour of one network state. The verifier
+// evaluates policies against snapshots; the twin network serves "show" and
+// "ping" commands from them.
+package dataplane
+
+import (
+	"net/netip"
+)
+
+// lpmNode is one node of a binary trie over IPv4 prefixes.
+type lpmNode struct {
+	child [2]*lpmNode
+	// routes holds the FIB entries terminating exactly at this node.
+	routes []FIBEntry
+	valid  bool
+}
+
+// LPM is a longest-prefix-match table mapping IPv4 prefixes to FIB entries.
+// The zero value is an empty table.
+type LPM struct {
+	root lpmNode
+	size int
+}
+
+// Insert associates the prefix with the given FIB entries, replacing any
+// previous entries for exactly that prefix.
+func (t *LPM) Insert(p netip.Prefix, entries []FIBEntry) {
+	p = p.Masked()
+	v := addrBits(p.Addr())
+	n := &t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := (v >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &lpmNode{}
+		}
+		n = n.child[b]
+	}
+	if !n.valid {
+		t.size++
+	}
+	n.valid = true
+	n.routes = entries
+}
+
+// Lookup returns the FIB entries of the longest prefix containing addr and
+// whether any prefix matched.
+func (t *LPM) Lookup(addr netip.Addr) ([]FIBEntry, bool) {
+	v := addrBits(addr)
+	n := &t.root
+	var best *lpmNode
+	if n.valid {
+		best = n
+	}
+	for i := 0; i < 32 && n != nil; i++ {
+		b := (v >> (31 - i)) & 1
+		n = n.child[b]
+		if n != nil && n.valid {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.routes, true
+}
+
+// Len returns the number of distinct prefixes in the table.
+func (t *LPM) Len() int { return t.size }
+
+func addrBits(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,149 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"heimdall/internal/netmodel"
+)
+
+// randomTreeNet generates a random router tree with a host on every leaf
+// router, OSPF everywhere and no ACLs. On such networks reachability is
+// total and symmetric — a strong invariant for the whole routing pipeline.
+func randomTreeNet(r *rand.Rand, routers int) *netmodel.Network {
+	n := netmodel.NewNetwork("rand")
+	ifCount := make(map[string]int)
+	nextIf := func(dev string) string {
+		ifCount[dev]++
+		return fmt.Sprintf("Gi0/%d", ifCount[dev]-1)
+	}
+	for i := 0; i < routers; i++ {
+		name := fmt.Sprintf("r%d", i)
+		n.AddDevice(name, netmodel.Router)
+		if i > 0 {
+			parent := fmt.Sprintf("r%d", r.Intn(i))
+			a, b := nextIf(parent), nextIf(name)
+			n.MustConnect(parent, a, name, b)
+			subnet := netip.AddrFrom4([4]byte{10, 200, byte(i), 0})
+			n.Devices[parent].Interface(a).Addr = netip.PrefixFrom(next(subnet, 1), 30)
+			n.Devices[name].Interface(b).Addr = netip.PrefixFrom(next(subnet, 2), 30)
+		}
+	}
+	for i := 0; i < routers; i++ {
+		router := fmt.Sprintf("r%d", i)
+		host := fmt.Sprintf("h%d", i)
+		n.AddDevice(host, netmodel.Host)
+		itf := nextIf(router)
+		n.MustConnect(host, "eth0", router, itf)
+		gw := netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 1})
+		ha := netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 10})
+		n.Devices[router].Interface(itf).Addr = netip.PrefixFrom(gw, 24)
+		n.Devices[host].Interface("eth0").Addr = netip.PrefixFrom(ha, 24)
+		n.Devices[host].DefaultGateway = gw
+	}
+	for i := 0; i < routers; i++ {
+		name := fmt.Sprintf("r%d", i)
+		n.Devices[name].OSPF = &netmodel.OSPFProcess{ProcessID: 1,
+			Networks: []netmodel.OSPFNetwork{{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Area: 0}},
+			Passive:  map[string]bool{}}
+	}
+	return n
+}
+
+func next(a netip.Addr, inc byte) netip.Addr {
+	b := a.As4()
+	b[3] += inc
+	return netip.AddrFrom4(b)
+}
+
+// TestRandomTreesFullSymmetricReachability checks, over many random
+// topologies, that every host pair is mutually reachable and that the
+// forward and reverse paths visit the same devices (trees have unique
+// paths).
+func TestRandomTreesFullSymmetricReachability(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 20; trial++ {
+		routers := 2 + r.Intn(8)
+		n := randomTreeNet(r, routers)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s := Compute(n)
+		hosts := n.Hosts()
+		for _, src := range hosts {
+			for _, dst := range hosts {
+				if src == dst {
+					continue
+				}
+				fwd, err := s.Reach(src, dst, netmodel.ICMP, 0)
+				if err != nil || !fwd.Delivered() {
+					t.Fatalf("trial %d (%d routers): %s->%s not delivered: %v %v",
+						trial, routers, src, dst, fwd, err)
+				}
+				rev, _ := s.Reach(dst, src, netmodel.ICMP, 0)
+				if !rev.Delivered() {
+					t.Fatalf("trial %d: asymmetric: %s->%s ok but reverse failed: %s",
+						trial, src, dst, rev)
+				}
+				if !sameDeviceSet(fwd.Path(), rev.Path()) {
+					t.Fatalf("trial %d: tree paths differ: %v vs %v", trial, fwd.Path(), rev.Path())
+				}
+			}
+		}
+	}
+}
+
+// TestRandomTreesSingleCutDisconnects checks the converse invariant: in a
+// tree, shutting down any single inter-router link partitions exactly the
+// hosts behind it, and every trace still terminates coherently.
+func TestRandomTreesSingleCutDisconnects(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := randomTreeNet(r, 3+r.Intn(6))
+		var interRouter []*netmodel.Link
+		for _, l := range n.Links {
+			if n.Devices[l.A.Device].Kind == netmodel.Router && n.Devices[l.B.Device].Kind == netmodel.Router {
+				interRouter = append(interRouter, l)
+			}
+		}
+		if len(interRouter) == 0 {
+			continue
+		}
+		cut := interRouter[r.Intn(len(interRouter))]
+		n.Devices[cut.A.Device].Interface(cut.A.Interface).Shutdown = true
+		s := Compute(n)
+
+		// The two routers on the cut edge must no longer reach each other
+		// via their host subnets; everything still terminates.
+		hostA := "h" + cut.A.Device[1:]
+		hostB := "h" + cut.B.Device[1:]
+		tr, err := s.Reach(hostA, hostB, netmodel.ICMP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Delivered() {
+			t.Fatalf("trial %d: tree cut did not partition %s from %s", trial, hostA, hostB)
+		}
+		if tr.Where == "" || len(tr.Hops) == 0 {
+			t.Fatalf("trial %d: incoherent drop: %s", trial, tr)
+		}
+	}
+}
+
+func sameDeviceSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"heimdall/internal/netmodel"
+)
+
+// RouteProto identifies how a route was learned.
+type RouteProto int
+
+const (
+	// Connected routes cover the subnets of up, addressed interfaces.
+	Connected RouteProto = iota
+	// Static routes come from "ip route" statements.
+	Static
+	// OSPF routes are computed by the link-state process.
+	OSPF
+	// BGP routes are learned over eBGP sessions.
+	BGP
+)
+
+// String returns the IOS-style route code letter ("C", "S", "O").
+func (p RouteProto) String() string {
+	switch p {
+	case Connected:
+		return "C"
+	case Static:
+		return "S"
+	case OSPF:
+		return "O"
+	case BGP:
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// adminDistance returns the default administrative distance of the protocol.
+func (p RouteProto) adminDistance() int {
+	switch p {
+	case Connected:
+		return 0
+	case Static:
+		return 1
+	case OSPF:
+		return 110
+	case BGP:
+		return ebgpAdminDistance
+	}
+	return 255
+}
+
+// FIBEntry is one forwarding-table entry: a next hop (or directly connected
+// subnet) through an egress interface.
+type FIBEntry struct {
+	Prefix netip.Prefix
+	Proto  RouteProto
+	// NextHop is the invalid Addr for connected routes.
+	NextHop netip.Addr
+	// OutIf is the egress interface name.
+	OutIf string
+	// AD and Metric order competing routes.
+	AD     int
+	Metric int
+}
+
+// Connected reports whether the entry is a directly connected subnet.
+func (e FIBEntry) Connected() bool { return !e.NextHop.IsValid() }
+
+// String renders the entry in show-ip-route style.
+func (e FIBEntry) String() string {
+	if e.Connected() {
+		return fmt.Sprintf("%s %s is directly connected, %s", e.Proto, e.Prefix, e.OutIf)
+	}
+	return fmt.Sprintf("%s %s [%d/%d] via %s, %s", e.Proto, e.Prefix, e.AD, e.Metric, e.NextHop, e.OutIf)
+}
+
+// ribFor computes the full routing table of one device given the global L2
+// adjacency and OSPF computation results. Entries are best-path only (lowest
+// administrative distance, then metric), with ECMP preserved.
+func ribFor(n *netmodel.Network, dev string, adj adjacency, ospfRoutes, bgpRoutes map[string][]FIBEntry) []FIBEntry {
+	d := n.Devices[dev]
+	var all []FIBEntry
+
+	// Connected.
+	for _, ifName := range d.InterfaceNames() {
+		itf := d.Interfaces[ifName]
+		if l3Endpoint(itf) {
+			all = append(all, FIBEntry{
+				Prefix: itf.Addr.Masked(),
+				Proto:  Connected,
+				OutIf:  ifName,
+			})
+		}
+	}
+
+	// Static. A static route is active only when its next hop lies in a
+	// connected subnet (single-level resolution, the common enterprise case).
+	for _, r := range d.StaticRoutes {
+		if itf, ok := d.AddrOnSubnet(r.NextHop); ok && l3Endpoint(itf) {
+			all = append(all, FIBEntry{
+				Prefix:  r.Prefix,
+				Proto:   Static,
+				NextHop: r.NextHop,
+				OutIf:   itf.Name,
+				AD:      r.AdminDistance(),
+			})
+		}
+	}
+
+	// Host default gateway behaves like a static default route.
+	if d.Kind == netmodel.Host && d.DefaultGateway.IsValid() {
+		if itf, ok := d.AddrOnSubnet(d.DefaultGateway); ok && l3Endpoint(itf) {
+			all = append(all, FIBEntry{
+				Prefix:  netip.MustParsePrefix("0.0.0.0/0"),
+				Proto:   Static,
+				NextHop: d.DefaultGateway,
+				OutIf:   itf.Name,
+				AD:      1,
+			})
+		}
+	}
+
+	all = append(all, ospfRoutes[dev]...)
+	all = append(all, bgpRoutes[dev]...)
+	return bestPaths(all)
+}
+
+// bestPaths keeps, for every prefix, only the entries with the lowest
+// (AD, metric), preserving equal-cost multipath.
+func bestPaths(entries []FIBEntry) []FIBEntry {
+	byPrefix := make(map[netip.Prefix][]FIBEntry)
+	for _, e := range entries {
+		byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
+	}
+	var out []FIBEntry
+	for _, group := range byPrefix {
+		bestAD, bestMetric := 256, 1<<30
+		for _, e := range group {
+			if e.AD < bestAD || (e.AD == bestAD && e.Metric < bestMetric) {
+				bestAD, bestMetric = e.AD, e.Metric
+			}
+		}
+		for _, e := range group {
+			if e.AD == bestAD && e.Metric == bestMetric {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix != out[j].Prefix {
+			return out[i].Prefix.String() < out[j].Prefix.String()
+		}
+		if out[i].NextHop != out[j].NextHop {
+			return out[i].NextHop.Less(out[j].NextHop)
+		}
+		return out[i].OutIf < out[j].OutIf
+	})
+	return out
+}
+
+// ospfInterface describes one OSPF-participating interface.
+type ospfInterface struct {
+	dev     string
+	name    string
+	addr    netip.Prefix
+	area    int
+	passive bool
+}
+
+// computeOSPF runs the link-state computation for the whole network and
+// returns per-device OSPF FIB entries.
+//
+// Adjacency forms between two interfaces when they are L2-adjacent, share a
+// subnet and an area, and neither is passive. Every enabled interface's
+// subnet (including passive ones) is advertised. Costs are hop counts.
+// Inter-area routing follows the standard area-0 backbone rule implicitly:
+// the router graph spans all areas, but edges only exist inside one area,
+// so traffic crosses areas only through routers with interfaces in both.
+func computeOSPF(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
+	// Collect participating interfaces.
+	participants := make(map[netmodel.Endpoint]ospfInterface)
+	routers := make(map[string]bool)
+	for _, devName := range n.DeviceNames() {
+		d := n.Devices[devName]
+		if d.OSPF == nil {
+			continue
+		}
+		for _, ifName := range d.InterfaceNames() {
+			itf := d.Interfaces[ifName]
+			if !l3Endpoint(itf) {
+				continue
+			}
+			area, ok := d.OSPF.EnabledArea(itf.Addr.Addr())
+			if !ok {
+				continue
+			}
+			ep := netmodel.Endpoint{Device: devName, Interface: ifName}
+			participants[ep] = ospfInterface{
+				dev: devName, name: ifName, addr: itf.Addr,
+				area: area, passive: d.OSPF.Passive[ifName],
+			}
+			routers[devName] = true
+		}
+	}
+	if len(routers) == 0 {
+		return nil
+	}
+
+	// Build the router graph: edge dev->dev via (localIf, peerAddr).
+	type edge struct {
+		peer     string
+		localIf  string
+		peerAddr netip.Addr
+		cost     int
+	}
+	graph := make(map[string][]edge)
+	for ep, oi := range participants {
+		if oi.passive {
+			continue
+		}
+		cost := 1
+		if itf := n.Devices[oi.dev].Interface(oi.name); itf != nil && itf.OSPFCost > 0 {
+			cost = itf.OSPFCost
+		}
+		for _, other := range adj[ep] {
+			po, ok := participants[other]
+			if !ok || po.passive || po.dev == oi.dev {
+				continue
+			}
+			if oi.area != po.area {
+				continue // area mismatch: no adjacency
+			}
+			if !oi.addr.Masked().Contains(po.addr.Addr()) {
+				continue // different subnets cannot peer
+			}
+			graph[oi.dev] = append(graph[oi.dev], edge{
+				peer: po.dev, localIf: oi.name, peerAddr: po.addr.Addr(), cost: cost,
+			})
+		}
+	}
+
+	// Advertised prefixes per router (all enabled interfaces).
+	advertised := make(map[string]map[netip.Prefix]bool)
+	for _, oi := range participants {
+		if advertised[oi.dev] == nil {
+			advertised[oi.dev] = make(map[netip.Prefix]bool)
+		}
+		advertised[oi.dev][oi.addr.Masked()] = true
+	}
+
+	// Per-source weighted Dijkstra with equal-cost multipath: settle nodes
+	// in nondecreasing distance order, merging first-hop sets on ties.
+	out := make(map[string][]FIBEntry)
+	for src := range routers {
+		type hop struct {
+			outIf string
+			via   netip.Addr
+		}
+		dist := map[string]int{src: 0}
+		firstHops := make(map[string]map[hop]bool)
+		settled := make(map[string]bool)
+		for {
+			// Select the unsettled node with the smallest distance,
+			// deterministically tie-broken by name (graphs are tiny, so
+			// linear selection beats a heap here).
+			cur, best := "", -1
+			for name, d := range dist {
+				if settled[name] {
+					continue
+				}
+				if best < 0 || d < best || (d == best && name < cur) {
+					cur, best = name, d
+				}
+			}
+			if cur == "" {
+				break
+			}
+			settled[cur] = true
+			edges := append([]edge(nil), graph[cur]...)
+			sort.Slice(edges, func(i, j int) bool { return edges[i].peer < edges[j].peer })
+			for _, e := range edges {
+				nd := dist[cur] + e.cost
+				old, seen := dist[e.peer]
+				switch {
+				case !seen || nd < old:
+					dist[e.peer] = nd
+					firstHops[e.peer] = make(map[hop]bool)
+				case nd > old:
+					continue
+				}
+				// Propagate first hops for equal-or-new best paths.
+				if cur == src {
+					firstHops[e.peer][hop{e.localIf, e.peerAddr}] = true
+				} else {
+					for h := range firstHops[cur] {
+						firstHops[e.peer][h] = true
+					}
+				}
+			}
+		}
+
+		// Routes to every remote advertised prefix.
+		local := advertised[src]
+		routes := make(map[netip.Prefix]map[hop]int)
+		for dst, hops := range firstHops {
+			for p := range advertised[dst] {
+				if local[p] {
+					continue // connected beats OSPF anyway
+				}
+				for h := range hops {
+					cur, ok := routes[p]
+					if !ok {
+						cur = make(map[hop]int)
+						routes[p] = cur
+					}
+					if old, seen := cur[h]; !seen || dist[dst] < old {
+						cur[h] = dist[dst]
+					}
+				}
+			}
+		}
+		for p, hops := range routes {
+			best := 1 << 30
+			for _, m := range hops {
+				if m < best {
+					best = m
+				}
+			}
+			for h, m := range hops {
+				if m != best {
+					continue
+				}
+				out[src] = append(out[src], FIBEntry{
+					Prefix: p, Proto: OSPF, NextHop: h.via, OutIf: h.outIf,
+					AD: OSPF.adminDistance(), Metric: m,
+				})
+			}
+		}
+	}
+	return out
+}

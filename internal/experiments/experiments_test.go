@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"heimdall/internal/latency"
+	"heimdall/internal/scenarios"
+)
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ent, uni := rows[0], rows[1]
+	if ent.Routers != 9 || ent.Hosts != 9 || ent.Links != 22 || ent.Policies != 21 {
+		t.Fatalf("enterprise row = %+v", ent)
+	}
+	if uni.Routers != 13 || uni.Hosts != 17 || uni.Links != 92 || uni.Policies != 175 {
+		t.Fatalf("university row = %+v", uni)
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "enterprise") || !strings.Contains(text, "1394") {
+		t.Fatalf("format:\n%s", text)
+	}
+}
+
+func TestFigure7ShapeMatchesPaper(t *testing.T) {
+	runs, err := Figure7(latency.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	byName := map[string]Figure7Run{}
+	var totalOverhead time.Duration
+	for _, r := range runs {
+		byName[r.Issue] = r
+		totalOverhead += r.Overhead()
+
+		// Heimdall is always slower than Current for the same issue, and
+		// the dominant step is operating (paper: "most time is spent
+		// performing operations").
+		if r.Heimdall.Total() <= r.Current.Total() {
+			t.Errorf("%s: Heimdall %v <= Current %v", r.Issue, r.Heimdall.Total(), r.Current.Total())
+		}
+		operate := r.Heimdall.Step("operate")
+		for _, step := range []string{"connect", "gen-privilege", "verify", "schedule", "save"} {
+			if r.Heimdall.Step(step) > operate {
+				t.Errorf("%s: step %s (%v) exceeds operate (%v)", r.Issue, step, r.Heimdall.Step(step), operate)
+			}
+		}
+	}
+	// The complex issue (vlan) costs more overhead than the simple one
+	// (isp), and the average lands in the paper's ballpark (~28 s; we
+	// accept 10-60 s).
+	if byName["vlan"].Overhead() <= byName["isp"].Overhead() {
+		t.Errorf("vlan overhead %v should exceed isp %v",
+			byName["vlan"].Overhead(), byName["isp"].Overhead())
+	}
+	mean := totalOverhead / 3
+	if mean < 10*time.Second || mean > 60*time.Second {
+		t.Errorf("mean overhead %v outside the paper's ballpark", mean)
+	}
+	if !strings.Contains(FormatFigure7(runs), "overhead") {
+		t.Error("format missing overhead")
+	}
+}
+
+func TestFigure8ShapeViaExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation search is slow")
+	}
+	results := Figure89(scenarios.Enterprise(), 0)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	all, nb, hd := results[0], results[1], results[2]
+	if all.Feasibility() != 1 || hd.Feasibility() < 0.9 {
+		t.Errorf("feasibility: all=%v heimdall=%v", all.Feasibility(), hd.Feasibility())
+	}
+	if !(all.MeanSurface() > nb.MeanSurface() && nb.MeanSurface() > hd.MeanSurface()) {
+		t.Errorf("surface ordering wrong: %v %v %v",
+			all.MeanSurface(), nb.MeanSurface(), hd.MeanSurface())
+	}
+	if out := FormatFigure89("Figure 8 (enterprise)", results); !strings.Contains(out, "reduction") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestMeasureVerifyCost(t *testing.T) {
+	res := MeasureVerifyCost(latency.Default())
+	if res.Policies != 175 {
+		t.Fatalf("policies = %d", res.Policies)
+	}
+	if res.Elapsed <= 0 || res.PerPolicy <= 0 {
+		t.Fatalf("elapsed = %v per-policy = %v", res.Elapsed, res.PerPolicy)
+	}
+	// Modeled wall time reproduces the paper's ~25 s for 175 constraints.
+	if res.ModeledWall < 20*time.Second || res.ModeledWall > 30*time.Second {
+		t.Fatalf("modeled wall = %v, want ≈25s", res.ModeledWall)
+	}
+}

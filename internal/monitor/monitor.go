@@ -1,0 +1,146 @@
+// Package monitor implements the performance-management service class of
+// the paper's §2.1 ("monitor bandwidth usage"): offered traffic demands are
+// routed over a dataplane snapshot's forwarding paths and aggregated into
+// per-interface load, giving the MSP technician top-talker and utilization
+// reports without any write access — exactly what the read-only
+// TaskMonitoring privilege template is for.
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+)
+
+// Demand is one offered host-to-host traffic flow.
+type Demand struct {
+	Src, Dst string
+	Proto    netmodel.Protocol
+	Port     uint16
+	// Rate is the offered load in Mbit/s.
+	Rate float64
+}
+
+// InterfaceLoad aggregates the traffic leaving one interface.
+type InterfaceLoad struct {
+	Device    string
+	Interface string
+	Mbps      float64
+	Flows     int
+}
+
+// Report is the result of routing a demand matrix over a snapshot.
+type Report struct {
+	Loads []InterfaceLoad
+	// Undelivered lists demands whose traffic did not reach its
+	// destination (with the drop reason in Reasons, index-aligned).
+	Undelivered []Demand
+	Reasons     []string
+
+	TotalOffered   float64
+	TotalDelivered float64
+}
+
+// Evaluate routes every demand over the snapshot's forwarding path and
+// accumulates per-egress-interface load. Loads are sorted by Mbps
+// descending (then by name for determinism).
+func Evaluate(snap *dataplane.Snapshot, demands []Demand) *Report {
+	rep := &Report{}
+	type key struct{ dev, itf string }
+	acc := make(map[key]*InterfaceLoad)
+	for _, d := range demands {
+		rep.TotalOffered += d.Rate
+		tr, err := snap.Reach(d.Src, d.Dst, d.Proto, d.Port)
+		if err != nil {
+			rep.Undelivered = append(rep.Undelivered, d)
+			rep.Reasons = append(rep.Reasons, err.Error())
+			continue
+		}
+		if !tr.Delivered() {
+			rep.Undelivered = append(rep.Undelivered, d)
+			rep.Reasons = append(rep.Reasons, tr.Disposition.String()+" at "+tr.Where)
+			continue
+		}
+		rep.TotalDelivered += d.Rate
+		for _, hop := range tr.Hops {
+			if hop.OutIf == "" {
+				continue
+			}
+			k := key{hop.Device, hop.OutIf}
+			l, ok := acc[k]
+			if !ok {
+				l = &InterfaceLoad{Device: hop.Device, Interface: hop.OutIf}
+				acc[k] = l
+			}
+			l.Mbps += d.Rate
+			l.Flows++
+		}
+	}
+	for _, l := range acc {
+		rep.Loads = append(rep.Loads, *l)
+	}
+	sort.Slice(rep.Loads, func(i, j int) bool {
+		if rep.Loads[i].Mbps != rep.Loads[j].Mbps {
+			return rep.Loads[i].Mbps > rep.Loads[j].Mbps
+		}
+		if rep.Loads[i].Device != rep.Loads[j].Device {
+			return rep.Loads[i].Device < rep.Loads[j].Device
+		}
+		return rep.Loads[i].Interface < rep.Loads[j].Interface
+	})
+	return rep
+}
+
+// TopTalkers returns the k busiest interfaces.
+func (r *Report) TopTalkers(k int) []InterfaceLoad {
+	if k > len(r.Loads) {
+		k = len(r.Loads)
+	}
+	return r.Loads[:k]
+}
+
+// String renders the report like an MSP bandwidth dashboard.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered %.1f Mbps, delivered %.1f Mbps (%d flows undelivered)\n",
+		r.TotalOffered, r.TotalDelivered, len(r.Undelivered))
+	for _, l := range r.TopTalkers(10) {
+		fmt.Fprintf(&b, "  %-6s %-12s %8.1f Mbps  (%d flows)\n", l.Device, l.Interface, l.Mbps, l.Flows)
+	}
+	for i, d := range r.Undelivered {
+		fmt.Fprintf(&b, "  LOSS %s -> %s (%.1f Mbps): %s\n", d.Src, d.Dst, d.Rate, r.Reasons[i])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// UniformMatrix generates a deterministic random demand matrix: flows
+// host pairs drawn uniformly, each offering between minRate and maxRate.
+func UniformMatrix(n *netmodel.Network, seed int64, flows int, minRate, maxRate float64) []Demand {
+	hosts := n.Hosts()
+	if len(hosts) < 2 || flows <= 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Demand, 0, flows)
+	for i := 0; i < flows; i++ {
+		si := r.Intn(len(hosts))
+		di := r.Intn(len(hosts) - 1)
+		if di >= si {
+			di++
+		}
+		proto := netmodel.TCP
+		port := uint16(443)
+		if i%3 == 0 {
+			port = 80
+		}
+		out = append(out, Demand{
+			Src: hosts[si], Dst: hosts[di], Proto: proto, Port: port,
+			Rate: minRate + r.Float64()*(maxRate-minRate),
+		})
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+// Package rmm implements the Remote Management and Monitoring substrate of
+// the paper's §2.1: a central server technicians log into, which executes
+// commands on the customer network's devices on their behalf.
+//
+// The transport is a line-delimited JSON protocol over TCP. The server is
+// backend-agnostic:
+//
+//   - DirectBackend is the *current* MSP model the paper criticises: once
+//     authenticated, the technician has root on every device of the
+//     production network.
+//   - Heimdall plugs in its twin-network sessions as a Backend, so both
+//     models run over identical tooling — exactly the paper's "compatible
+//     with existing workflows" requirement.
+package rmm
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"heimdall/internal/console"
+	"heimdall/internal/netmodel"
+)
+
+// Backend executes commands for authenticated technicians.
+type Backend interface {
+	// Devices lists the devices the technician may open.
+	Devices(technician string) []string
+	// Exec runs one console command line on a device.
+	Exec(technician, device, line string) (string, error)
+}
+
+// DirectBackend exposes the production network with unrestricted root
+// access — the baseline the paper's incidents exploit.
+type DirectBackend struct {
+	mu  sync.Mutex
+	net *netmodel.Network
+	env *console.Env
+}
+
+// NewDirectBackend wraps a production network.
+func NewDirectBackend(n *netmodel.Network) *DirectBackend {
+	return &DirectBackend{net: n, env: console.NewEnv(n)}
+}
+
+// Devices implements Backend: every device, for everyone.
+func (b *DirectBackend) Devices(string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.net.DeviceNames()
+}
+
+// Exec implements Backend: any command on any device, no mediation.
+func (b *DirectBackend) Exec(_, device, line string) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.net.Devices[device] == nil {
+		return "", fmt.Errorf("rmm: no device %q", device)
+	}
+	return console.New(device, b.env).Run(line)
+}
+
+// request is one protocol message from client to server.
+type request struct {
+	Op     string `json:"op"` // login, devices, exec
+	User   string `json:"user,omitempty"`
+	Token  string `json:"token,omitempty"`
+	Device string `json:"device,omitempty"`
+	Line   string `json:"line,omitempty"`
+}
+
+// response is one protocol message from server to client.
+type response struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Output  string   `json:"output,omitempty"`
+	Devices []string `json:"devices,omitempty"`
+}
+
+// Server is the central RMM server.
+type Server struct {
+	backend Backend
+	tokens  map[string]string // user -> token
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+// NewServer creates a server authenticating the given user->token map
+// against the backend.
+func NewServer(tokens map[string]string, backend Backend) *Server {
+	t := make(map[string]string, len(tokens))
+	for u, tok := range tokens {
+		t[u] = tok
+	}
+	return &Server{backend: backend, tokens: t, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and starts serving until Close.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rmm: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, terminates open connections, and waits for
+// connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it returns false when the server is
+// already closing.
+func (s *Server) track(conn net.Conn, add bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.ln == nil {
+			return false
+		}
+		s.conns[conn] = true
+		return true
+	}
+	delete(s.conns, conn)
+	return true
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn, true) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	authedUser := ""
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{Error: "malformed request"})
+			return
+		}
+		resp := s.dispatch(&authedUser, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(authedUser *string, req request) response {
+	switch req.Op {
+	case "login":
+		want, ok := s.tokens[req.User]
+		if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(req.Token)) != 1 {
+			return response{Error: "authentication failed"}
+		}
+		*authedUser = req.User
+		return response{OK: true}
+	case "devices":
+		if *authedUser == "" {
+			return response{Error: "not authenticated"}
+		}
+		return response{OK: true, Devices: s.backend.Devices(*authedUser)}
+	case "exec":
+		if *authedUser == "" {
+			return response{Error: "not authenticated"}
+		}
+		out, err := s.backend.Exec(*authedUser, req.Device, req.Line)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Output: out}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a technician's connection to an RMM server.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to an RMM server over plain TCP (tests and the lab CLI;
+// production deployments use DialTLS).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: dial: %w", err)
+	}
+	return newClient(conn), nil
+}
+
+// newClient wraps an established connection.
+func newClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) round(req request) (response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("rmm: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return response{}, fmt.Errorf("rmm: recv: %w", err)
+		}
+		return response{}, io.ErrUnexpectedEOF
+	}
+	var resp response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("rmm: recv: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Login authenticates the technician.
+func (c *Client) Login(user, token string) error {
+	_, err := c.round(request{Op: "login", User: user, Token: token})
+	return err
+}
+
+// Devices lists the devices visible to the technician.
+func (c *Client) Devices() ([]string, error) {
+	resp, err := c.round(request{Op: "devices"})
+	return resp.Devices, err
+}
+
+// Exec runs one console command on a device.
+func (c *Client) Exec(device, line string) (string, error) {
+	resp, err := c.round(request{Op: "exec", Device: device, Line: line})
+	return resp.Output, err
+}

@@ -1,0 +1,272 @@
+package rmm
+
+import (
+	"crypto/tls"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heimdall/internal/netmodel"
+)
+
+func prodNet() *netmodel.Network {
+	n := netmodel.NewNetwork("p")
+	r1 := n.AddDevice("r1", netmodel.Router)
+	h1 := n.AddDevice("h1", netmodel.Host)
+	h2 := n.AddDevice("h2", netmodel.Host)
+	n.MustConnect("h1", "eth0", "r1", "Gi0/0")
+	n.MustConnect("r1", "Gi0/1", "h2", "eth0")
+	h1.Interface("eth0").Addr = netip.MustParsePrefix("10.1.0.10/24")
+	h1.DefaultGateway = netip.MustParseAddr("10.1.0.1")
+	r1.Interface("Gi0/0").Addr = netip.MustParsePrefix("10.1.0.1/24")
+	r1.Interface("Gi0/1").Addr = netip.MustParsePrefix("10.2.0.1/24")
+	h2.Interface("eth0").Addr = netip.MustParsePrefix("10.2.0.10/24")
+	h2.DefaultGateway = netip.MustParseAddr("10.2.0.1")
+	return n
+}
+
+func startServer(t *testing.T, backend Backend) *Server {
+	t.Helper()
+	srv := NewServer(map[string]string{"alice": "tok-a", "bob": "tok-b"}, backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func login(t *testing.T, addr, user, token string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Login(user, token); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoginAndAuthFailures(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Unauthenticated requests are refused.
+	if _, err := c.Devices(); err == nil || !strings.Contains(err.Error(), "not authenticated") {
+		t.Fatalf("unauthenticated devices: %v", err)
+	}
+	if err := c.Login("alice", "wrong"); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	if err := c.Login("mallory", "tok-a"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if err := c.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Devices(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectBackendFullAccess(t *testing.T) {
+	n := prodNet()
+	srv := startServer(t, NewDirectBackend(n))
+	c := login(t, srv.Addr(), "alice", "tok-a")
+
+	devs, err := c.Devices()
+	if err != nil || len(devs) != 3 {
+		t.Fatalf("devices = %v, %v", devs, err)
+	}
+	out, err := c.Exec("h1", "ping h2")
+	if err != nil || !strings.Contains(out, "success") {
+		t.Fatalf("ping via RMM = %q, %v", out, err)
+	}
+	// The direct model lets the technician break production — that is the
+	// paper's criticism, and the baseline must reproduce it.
+	if _, err := c.Exec("r1", "interface Gi0/1 shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Device("r1").Interface("Gi0/1").Shutdown {
+		t.Fatal("direct exec did not reach production")
+	}
+	out, err = c.Exec("h1", "ping h2")
+	if err != nil || !strings.Contains(out, "failed") {
+		t.Fatalf("production outage not visible: %q, %v", out, err)
+	}
+	// Unknown device / bad command errors propagate.
+	if _, err := c.Exec("ghost", "show vlan"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := c.Exec("r1", "frobnicate"); err == nil {
+		t.Fatal("bad command accepted")
+	}
+}
+
+// restrictedBackend exposes only one device per technician, to prove the
+// server honours backend scoping (this is how Heimdall's twin plugs in).
+type restrictedBackend struct {
+	inner Backend
+	allow map[string]string // user -> device
+}
+
+func (b *restrictedBackend) Devices(user string) []string {
+	if d, ok := b.allow[user]; ok {
+		return []string{d}
+	}
+	return nil
+}
+
+func (b *restrictedBackend) Exec(user, device, line string) (string, error) {
+	if b.allow[user] != device {
+		return "", &deniedError{}
+	}
+	return b.inner.Exec(user, device, line)
+}
+
+type deniedError struct{}
+
+func (*deniedError) Error() string { return "permission denied" }
+
+func TestBackendScoping(t *testing.T) {
+	srv := startServer(t, &restrictedBackend{
+		inner: NewDirectBackend(prodNet()),
+		allow: map[string]string{"alice": "h1", "bob": "r1"},
+	})
+	alice := login(t, srv.Addr(), "alice", "tok-a")
+	devs, _ := alice.Devices()
+	if len(devs) != 1 || devs[0] != "h1" {
+		t.Fatalf("alice devices = %v", devs)
+	}
+	if _, err := alice.Exec("r1", "show ip route"); err == nil {
+		t.Fatal("alice reached bob's device")
+	}
+	if _, err := alice.Exec("h1", "show interfaces"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Login("alice", "tok-a"); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if _, err := c.Exec("r1", "show ip route"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Server answers with an error and closes; the next round fails.
+	if !c.sc.Scan() {
+		t.Fatal("no error response")
+	}
+	if !strings.Contains(c.sc.Text(), "malformed") {
+		t.Fatalf("response = %q", c.sc.Text())
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	if _, err := c.round(request{Op: "reboot"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("unknown op: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("r1", "show ip route"); err == nil {
+		t.Fatal("exec after server close succeeded")
+	}
+	if addr := srv.Addr(); addr != "" {
+		t.Fatalf("Addr after close = %q", addr)
+	}
+}
+
+func TestTLSTransport(t *testing.T) {
+	creds, err := NewSelfSignedTLS([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(map[string]string{"alice": "tok-a"}, NewDirectBackend(prodNet()))
+	if err := srv.ListenTLS("127.0.0.1:0", creds); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialTLS(srv.Addr(), creds.ClientConfig("127.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exec("h1", "ping h2")
+	if err != nil || !strings.Contains(out, "success") {
+		t.Fatalf("exec over TLS = %q, %v", out, err)
+	}
+
+	// A client that does not pin the server's certificate is refused.
+	if _, err := DialTLS(srv.Addr(), &tls.Config{MinVersion: tls.VersionTLS13}); err == nil {
+		t.Fatal("unpinned client connected")
+	}
+	// A different authority's pin fails too (MITM protection).
+	other, err := NewSelfSignedTLS([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialTLS(srv.Addr(), other.ClientConfig("127.0.0.1")); err == nil {
+		t.Fatal("wrong-authority client connected")
+	}
+	// Plaintext clients cannot speak to a TLS server.
+	if pc, err := Dial(srv.Addr()); err == nil {
+		if err := pc.Login("alice", "tok-a"); err == nil {
+			t.Fatal("plaintext login over TLS listener succeeded")
+		}
+		pc.Close()
+	}
+}

@@ -1,0 +1,109 @@
+package rmm
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// TLS support for the RMM channel. The incidents motivating the paper
+// (APT10, SolarWinds N-central) rode on the RMM software itself, so the
+// transport carries server authentication and encryption: the server
+// presents a certificate and clients pin its authority.
+
+// ServerTLS holds a server certificate and the CA material clients pin.
+type ServerTLS struct {
+	cert tls.Certificate
+	pool *x509.CertPool
+}
+
+// NewSelfSignedTLS generates an ECDSA P-256 self-signed server certificate
+// for the given host names, valid for the given duration.
+func NewSelfSignedTLS(hosts []string, validity time.Duration) (*ServerTLS, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: generating key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, fmt.Errorf("rmm: generating serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "heimdall-rmm"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(validity),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: creating certificate: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	return &ServerTLS{
+		cert: tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf},
+		pool: pool,
+	}, nil
+}
+
+// ServerConfig returns the tls.Config the server listens with.
+func (s *ServerTLS) ServerConfig() *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{s.cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// ClientConfig returns a tls.Config pinned to this server's certificate.
+func (s *ServerTLS) ClientConfig(serverName string) *tls.Config {
+	return &tls.Config{
+		RootCAs:    s.pool,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS13,
+	}
+}
+
+// ListenTLS binds the server with TLS on addr.
+func (s *Server) ListenTLS(addr string, creds *ServerTLS) error {
+	ln, err := tls.Listen("tcp", addr, creds.ServerConfig())
+	if err != nil {
+		return fmt.Errorf("rmm: tls listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// DialTLS connects to a TLS RMM server using the pinned client config.
+func DialTLS(addr string, cfg *tls.Config) (*Client, error) {
+	conn, err := tls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: tls dial: %w", err)
+	}
+	return newClient(conn), nil
+}

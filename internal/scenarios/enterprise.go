@@ -1,0 +1,203 @@
+package scenarios
+
+import (
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/spec"
+	"heimdall/internal/ticket"
+)
+
+// enterpriseMgmtEntries calibrates the enterprise config size to Table 1's
+// 1394 lines.
+const enterpriseMgmtEntries = 130
+
+// Enterprise builds the enterprise evaluation network: two core routers, a
+// distribution pair, three edge routers and two L3 access switches (9
+// network devices), nine hosts (including an external "ISP-side" web
+// server and a sensitive finance server), 22 links.
+//
+//	          ext-www                 h9 (finance, sensitive)
+//	             |                     |
+//	h1,h2 - sw1  r1 ======== r2 ------+
+//	         |    \  \      /  \
+//	         |     \   r3 =====  r4 --- h8
+//	        sw2    |  /  \       |
+//	         |     r5     r6     r7 --- h6
+//	        h3     |h4    |h5    |
+//	               +------+------+ (sw2-r7 uplink, r5-r6 interlink)
+func Enterprise() *Scenario {
+	n := netmodel.NewNetwork("enterprise")
+	for _, r := range []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7"} {
+		n.AddDevice(r, netmodel.Router)
+	}
+	n.AddDevice("sw1", netmodel.Switch)
+	n.AddDevice("sw2", netmodel.Switch)
+	for _, h := range []string{"h1", "h2", "h3", "h4", "h5", "h6", "ext-www", "h8", "h9"} {
+		n.AddDevice(h, netmodel.Host)
+	}
+
+	// Core / distribution / edge fabric (10 routed /30 links).
+	p2p(n, "r1", "Gi0/0", "r2", "Gi0/0", "10.0.1.0")
+	p2p(n, "r1", "Gi0/1", "r3", "Gi0/0", "10.0.2.0")
+	p2p(n, "r1", "Gi0/2", "r4", "Gi0/0", "10.0.3.0")
+	p2p(n, "r2", "Gi0/1", "r3", "Gi0/1", "10.0.4.0")
+	p2p(n, "r2", "Gi0/2", "r4", "Gi0/1", "10.0.5.0")
+	p2p(n, "r3", "Gi0/2", "r4", "Gi0/2", "10.0.6.0")
+	p2p(n, "r3", "Gi0/3", "r5", "Gi0/0", "10.0.7.0")
+	p2p(n, "r3", "Gi0/4", "r6", "Gi0/0", "10.0.8.0")
+	p2p(n, "r4", "Gi0/3", "r7", "Gi0/0", "10.0.9.0")
+	p2p(n, "r5", "Gi0/2", "r6", "Gi0/2", "10.0.10.0")
+
+	// Switch uplinks (routed ports on the L3 switches) and the trunk.
+	p2p(n, "sw1", "Gi1/0/24", "r5", "Gi0/1", "10.0.11.0")
+	p2p(n, "sw2", "Gi1/0/24", "r7", "Gi0/1", "10.0.12.0")
+	n.MustConnect("sw1", "Gi1/0/23", "sw2", "Gi1/0/23")
+	for _, sw := range []string{"sw1", "sw2"} {
+		tr := n.Devices[sw].Interface("Gi1/0/23")
+		tr.Mode = netmodel.Trunk
+		tr.TrunkVLANs = []int{10, 20}
+		n.Devices[sw].VLANs[10] = &netmodel.VLAN{ID: 10, Name: "users"}
+		n.Devices[sw].VLANs[20] = &netmodel.VLAN{ID: 20, Name: "staff"}
+	}
+
+	// SVIs: sw1 routes both VLANs; sw2 has a standby SVI in vlan 20.
+	svi := n.Devices["sw1"].AddInterface("Vlan10")
+	svi.Addr = pfx("10.10.0.1/24")
+	svi = n.Devices["sw1"].AddInterface("Vlan20")
+	svi.Addr = pfx("10.20.0.1/24")
+	svi = n.Devices["sw2"].AddInterface("Vlan20")
+	svi.Addr = pfx("10.20.0.2/24")
+
+	// VLAN access ports + hosts behind the switches.
+	access := func(sw, port string, vlan int) {
+		p := n.Devices[sw].AddInterface(port)
+		p.Mode = netmodel.Access
+		p.AccessVLAN = vlan
+	}
+	access("sw1", "Gi1/0/1", 10)
+	access("sw1", "Gi1/0/2", 20)
+	access("sw2", "Gi1/0/1", 20)
+	n.MustConnect("h1", "eth0", "sw1", "Gi1/0/1")
+	n.MustConnect("h2", "eth0", "sw1", "Gi1/0/2")
+	n.MustConnect("h3", "eth0", "sw2", "Gi1/0/1")
+	setHost := func(host, addr, gw string) {
+		h := n.Devices[host]
+		h.Interface("eth0").Addr = pfx(addr)
+		h.DefaultGateway = ip(gw)
+	}
+	setHost("h1", "10.10.0.11/24", "10.10.0.1")
+	setHost("h2", "10.20.0.12/24", "10.20.0.1")
+	setHost("h3", "10.20.0.13/24", "10.20.0.1")
+
+	// Directly attached hosts.
+	attachHost(n, "h4", "r5", "Gi0/3", "10.4.0.0")
+	attachHost(n, "h5", "r6", "Gi0/1", "10.5.0.0")
+	attachHost(n, "h6", "r7", "Gi0/2", "10.6.0.0")
+	attachHost(n, "ext-www", "r1", "Gi0/3", "198.51.100.0")
+	attachHost(n, "h8", "r4", "Gi0/4", "10.8.0.0")
+	attachHost(n, "h9", "r2", "Gi0/3", "10.9.0.0")
+
+	infra := []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "sw1", "sw2"}
+	ospfAll(n, infra)
+	// The external subnet (198.51.100/24) is outside 10/8 and therefore
+	// not advertised: it is reached through the static default chain.
+	n.Devices["r2"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.1.1")}}
+	n.Devices["r3"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.2.1")}}
+	n.Devices["r4"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.3.1")}}
+	n.Devices["r5"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.7.1")}}
+	n.Devices["r6"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.8.1")}}
+	n.Devices["r7"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.9.1")}}
+	n.Devices["sw1"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.11.2")}}
+	n.Devices["sw2"].StaticRoutes = []netmodel.StaticRoute{{Prefix: pfx("0.0.0.0/0"), NextHop: ip("10.0.12.2")}}
+
+	// Finance protection on r2: only h8 (backup) may reach h9, on ssh.
+	guard := n.Devices["r2"].ACL("FINANCE-GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Permit, Proto: netmodel.TCP,
+		Src: pfx("10.8.0.0/24"), Dst: pfx("10.9.0.0/24"), DstPort: 22})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: pfx("10.9.0.0/24")})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 30, Action: netmodel.Permit})
+	n.Devices["r2"].Interface("Gi0/3").ACLOut = "FINANCE-GUARD"
+
+	// Perimeter filter on r1: the external side cannot initiate into the
+	// finance subnet.
+	edge := n.Devices["r1"].ACL("EXT-IN", true)
+	edge.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Src: pfx("198.51.100.0/24"), Dst: pfx("10.9.0.0/24")})
+	edge.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	n.Devices["r1"].Interface("Gi0/3").ACLIn = "EXT-IN"
+
+	for _, r := range infra {
+		mgmtACL(n.Devices[r], enterpriseMgmtEntries)
+		secrets(n.Devices[r], r)
+	}
+
+	sensitive := map[string]bool{"h9": true}
+	snap := dataplane.Compute(n)
+	policies := spec.Mine(snap, n, spec.Options{
+		Services:    []spec.Service{{Proto: netmodel.ICMP}, {Proto: netmodel.TCP, Port: 80}},
+		Sensitive:   sensitive,
+		MaxPolicies: 21,
+	})
+
+	s := &Scenario{
+		Name:      "enterprise",
+		Network:   n,
+		Configs:   render(n),
+		Policies:  policies,
+		Sensitive: sensitive,
+	}
+	s.Issues = enterpriseIssues()
+	return s
+}
+
+// enterpriseIssues returns the three pilot-study issues with their
+// prepared command scripts (diagnosis first, fix last — the paper scripts
+// commands to keep the comparison about workflow overhead, not expertise).
+func enterpriseIssues() []Issue {
+	vlanFault := ticket.WrongAccessVLAN("sw2", "Gi1/0/1", 30, 20)
+	vlan := Issue{
+		Name: "vlan", Fault: vlanFault,
+		SrcHost: "h2", DstHost: "h3", Proto: netmodel.ICMP,
+		Script: append([]ticket.FixCommand{
+			{Device: "h2", Line: "ping h3"},
+			{Device: "h2", Line: "traceroute h3"},
+			{Device: "sw1", Line: "show vlan"},
+			{Device: "sw1", Line: "show interfaces"},
+			{Device: "sw1", Line: "show ip route"},
+			{Device: "sw2", Line: "show vlan"},
+			{Device: "sw2", Line: "show interfaces Gi1/0/1"},
+			{Device: "sw2", Line: "show running-config"},
+		}, vlanFault.Fix...),
+	}
+	vlan.Script = append(vlan.Script, ticket.FixCommand{Device: "h2", Line: "ping h3"})
+
+	ospfFault := ticket.OSPFPassive("r7", "Gi0/0")
+	ospf := Issue{
+		Name: "ospf", Fault: ospfFault,
+		SrcHost: "h5", DstHost: "h6", Proto: netmodel.ICMP,
+		Script: append([]ticket.FixCommand{
+			{Device: "h5", Line: "ping h6"},
+			{Device: "r6", Line: "show ip route"},
+			{Device: "r4", Line: "show ip route"},
+			{Device: "r4", Line: "show ip ospf neighbor"},
+			{Device: "r7", Line: "show ip ospf neighbor"},
+			{Device: "r7", Line: "show running-config"},
+		}, ospfFault.Fix...),
+	}
+	ospf.Script = append(ospf.Script, ticket.FixCommand{Device: "h5", Line: "ping h6"})
+
+	ispFault := ticket.BadStaticRoute("r3", pfx("0.0.0.0/0"), ip("10.0.6.9"), ip("10.0.2.1"))
+	isp := Issue{
+		Name: "isp", Fault: ispFault,
+		SrcHost: "h4", DstHost: "ext-www", Proto: netmodel.TCP, DstPort: 80,
+		Script: append([]ticket.FixCommand{
+			{Device: "h4", Line: "ping ext-www tcp 80"},
+			{Device: "r5", Line: "show ip route"},
+			{Device: "r3", Line: "show ip route"},
+		}, ispFault.Fix...),
+	}
+	isp.Script = append(isp.Script, ticket.FixCommand{Device: "h4", Line: "ping ext-www tcp 80"})
+
+	return []Issue{vlan, ospf, isp}
+}

@@ -1,0 +1,158 @@
+package scenarios
+
+import (
+	"net/netip"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/spec"
+	"heimdall/internal/ticket"
+)
+
+// Provider builds a third scenario beyond the paper's Table 1 pair: a
+// multi-site enterprise whose sites hang off an ISP backbone over eBGP —
+// the deployment where "ISP reconfiguration" tickets are really about
+// peering state. Two customer edge routers (AS 65001, 65002) each peer
+// with one backbone router (both AS 64900); sites exchange routes across
+// the backbone.
+//
+//	hA1,hA2 - edgeA ==eBGP== isp1 ---- isp2 ==eBGP== edgeB - hB1,hB2
+//	 (AS 65001)                (AS 64900 backbone)      (AS 65002)
+//
+// hB2 is the sensitive billing server, guarded on edgeB.
+func Provider() *Scenario {
+	n := netmodel.NewNetwork("provider")
+	edgeA := n.AddDevice("edgeA", netmodel.Router)
+	edgeB := n.AddDevice("edgeB", netmodel.Router)
+	isp1 := n.AddDevice("isp1", netmodel.Router)
+	isp2 := n.AddDevice("isp2", netmodel.Router)
+	for _, h := range []string{"hA1", "hA2", "hB1", "hB2"} {
+		n.AddDevice(h, netmodel.Host)
+	}
+
+	// Site A.
+	attachHost(n, "hA1", "edgeA", "Gi0/2", "10.10.1.0")
+	attachHost(n, "hA2", "edgeA", "Gi0/3", "10.10.2.0")
+	// Site B.
+	attachHost(n, "hB1", "edgeB", "Gi0/2", "10.20.1.0")
+	attachHost(n, "hB2", "edgeB", "Gi0/3", "10.20.2.0")
+	// Backbone.
+	p2p(n, "edgeA", "Gi0/0", "isp1", "Gi0/0", "203.0.113.0")
+	p2p(n, "edgeB", "Gi0/0", "isp2", "Gi0/0", "203.0.113.4")
+	p2p(n, "isp1", "Gi0/1", "isp2", "Gi0/1", "203.0.113.8")
+
+	// eBGP: edges originate their site space; the backbone originates its
+	// own infrastructure space and transits everything.
+	edgeA.BGP = &netmodel.BGPProcess{LocalAS: 65001, RouterID: ip("1.1.1.1"),
+		Networks: []netip.Prefix{pfx("10.10.1.0/24"), pfx("10.10.2.0/24")}}
+	edgeA.BGP.SetNeighbor(ip("203.0.113.2"), 64900)
+	edgeB.BGP = &netmodel.BGPProcess{LocalAS: 65002, RouterID: ip("2.2.2.2"),
+		Networks: []netip.Prefix{pfx("10.20.1.0/24"), pfx("10.20.2.0/24")}}
+	edgeB.BGP.SetNeighbor(ip("203.0.113.6"), 64900)
+
+	// The backbone routers share AS 64900; between themselves they run
+	// OSPF (iBGP is out of scope) and re-originate customer routes
+	// learned from their own customers. For a faithful-but-simple model,
+	// both backbone routers peer eBGP with their customer edge and share
+	// an IGP that carries the peering subnets; each backbone router
+	// additionally originates the site prefixes it learns — modeled by
+	// static routes toward the customer edge, redistributed via BGP
+	// "network" statements on the far side's peer.
+	isp1.BGP = &netmodel.BGPProcess{LocalAS: 64900, RouterID: ip("9.9.9.1"),
+		// The backbone advertises the far site's aggregate to its customer
+		// (an ISP originating customer routes toward its other customers).
+		Networks: []netip.Prefix{pfx("203.0.113.8/30"), pfx("10.20.0.0/16")}}
+	isp1.BGP.SetNeighbor(ip("203.0.113.1"), 65001)
+	isp2.BGP = &netmodel.BGPProcess{LocalAS: 64900, RouterID: ip("9.9.9.2"),
+		Networks: []netip.Prefix{pfx("203.0.113.8/30"), pfx("10.10.0.0/16")}}
+	isp2.BGP.SetNeighbor(ip("203.0.113.5"), 65002)
+
+	// Backbone IGP: OSPF over the isp1-isp2 link plus statics carrying the
+	// customer routes across the backbone (each ISP router knows how to
+	// reach the other side's learned prefixes via its neighbor).
+	for _, name := range []string{"isp1", "isp2"} {
+		n.Devices[name].OSPF = &netmodel.OSPFProcess{ProcessID: 1,
+			RouterID: routerID(name),
+			Networks: []netmodel.OSPFNetwork{{Prefix: pfx("203.0.113.0/24"), Area: 0}},
+			Passive:  map[string]bool{"Gi0/0": true}}
+	}
+	n.Devices["isp1"].StaticRoutes = []netmodel.StaticRoute{
+		{Prefix: pfx("10.20.0.0/16"), NextHop: ip("203.0.113.10")},
+	}
+	n.Devices["isp2"].StaticRoutes = []netmodel.StaticRoute{
+		{Prefix: pfx("10.10.0.0/16"), NextHop: ip("203.0.113.9")},
+	}
+
+	// Billing-server guard on edgeB: only hA1's subnet, https only.
+	guard := edgeB.ACL("BILLING-GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Permit, Proto: netmodel.TCP,
+		Src: pfx("10.10.1.0/24"), Dst: pfx("10.20.2.0/24"), DstPort: 443})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: pfx("10.20.2.0/24")})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 30, Action: netmodel.Permit})
+	edgeB.Interface("Gi0/0").ACLIn = "BILLING-GUARD"
+
+	for _, r := range n.RoutersAndSwitches() {
+		secrets(n.Devices[r], r)
+	}
+
+	sensitive := map[string]bool{"hB2": true}
+	snap := dataplane.Compute(n)
+	policies := spec.Mine(snap, n, spec.Options{
+		Services:  []spec.Service{{Proto: netmodel.ICMP}, {Proto: netmodel.TCP, Port: 443}},
+		Sensitive: sensitive,
+	})
+
+	s := &Scenario{
+		Name:      "provider",
+		Network:   n,
+		Configs:   render(n),
+		Policies:  policies,
+		Sensitive: sensitive,
+	}
+	s.Issues = providerIssues()
+	return s
+}
+
+// providerIssues defines the scenario's scripted tickets.
+func providerIssues() []Issue {
+	// The ISP migrated edgeA's peering to a new AS numbering plan and the
+	// change was fat-fingered on the customer side.
+	bgpFault := ticket.BGPWrongAS("edgeA", 65001, ip("203.0.113.2"), 64901, 64900)
+	bgp := Issue{
+		Name: "bgp", Fault: bgpFault,
+		SrcHost: "hA1", DstHost: "hB1", Proto: netmodel.ICMP,
+		Script: append([]ticket.FixCommand{
+			{Device: "hA1", Line: "ping hB1"},
+			{Device: "edgeA", Line: "show ip bgp"},
+			{Device: "edgeA", Line: "show running-config"},
+		}, bgpFault.Fix...),
+	}
+	bgp.Script = append(bgp.Script, ticket.FixCommand{Device: "hA1", Line: "ping hB1"})
+
+	// An over-tight ACL edit locked the authorized client out of billing.
+	aclFault := ticket.ACLDeny("edgeB", "BILLING-GUARD", 5, pfx("10.20.2.10/32"), 443)
+	acl := Issue{
+		Name: "acl", Fault: aclFault,
+		SrcHost: "hA1", DstHost: "hB2", Proto: netmodel.TCP, DstPort: 443,
+		Script: append([]ticket.FixCommand{
+			{Device: "hA1", Line: "ping hB2 tcp 443"},
+			{Device: "edgeB", Line: "show access-lists BILLING-GUARD"},
+		}, aclFault.Fix...),
+	}
+	acl.Script = append(acl.Script, ticket.FixCommand{Device: "hA1", Line: "ping hB2 tcp 443"})
+
+	// A backbone maintenance window left an interface down.
+	ifFault := ticket.InterfaceDown("isp1", "Gi0/1")
+	iface := Issue{
+		Name: "interface", Fault: ifFault,
+		SrcHost: "hA2", DstHost: "hB1", Proto: netmodel.ICMP,
+		Script: append([]ticket.FixCommand{
+			{Device: "hA2", Line: "ping hB1"},
+			{Device: "isp1", Line: "show interfaces"},
+		}, ifFault.Fix...),
+	}
+	iface.Script = append(iface.Script, ticket.FixCommand{Device: "hA2", Line: "ping hB1"})
+
+	return []Issue{bgp, acl, iface}
+}

@@ -1,0 +1,182 @@
+// Package scenarios synthesizes the two evaluation networks of the paper's
+// Table 1 — an enterprise network and a university network — together with
+// their rendered device configurations, mined policy sets, and the three
+// real-world issues (vlan, ospf, isp) used in the pilot study.
+//
+// The paper evaluates on two real config sets from the Batfish test suite;
+// those configurations are not redistributable, so these generators build
+// deterministic networks calibrated to the same published statistics
+// (#routers, #hosts, #links, #policies, lines of config) and supporting the
+// same issue classes. EXPERIMENTS.md records generated-vs-published values.
+package scenarios
+
+import (
+	"fmt"
+	"net/netip"
+
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/ticket"
+	"heimdall/internal/verify"
+)
+
+// Issue is one scripted trouble ticket of the pilot study: a fault, the
+// symptom pair, and the prepared command list (diagnosis plus fix) an
+// experienced technician would run.
+type Issue struct {
+	Name    string // "vlan", "ospf", "isp"
+	Fault   ticket.Fault
+	SrcHost string
+	DstHost string
+	Proto   netmodel.Protocol
+	DstPort uint16
+	// Script is the full prepared command list, diagnosis and fix, in
+	// order. The fix commands are exactly Fault.Fix.
+	Script []ticket.FixCommand
+}
+
+// Scenario is one evaluation network with everything the experiments need.
+type Scenario struct {
+	Name      string
+	Network   *netmodel.Network
+	Configs   map[string]string
+	Policies  []verify.Policy
+	Sensitive map[string]bool
+	Issues    []Issue
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Network     string
+	Routers     int
+	Hosts       int
+	Links       int
+	Policies    int
+	ConfigLines int
+}
+
+// Row computes the scenario's Table 1 statistics.
+func (s *Scenario) Row() Table1Row {
+	lines := 0
+	for _, devName := range s.Network.RoutersAndSwitches() {
+		lines += config.CountLines(s.Configs[devName])
+	}
+	return Table1Row{
+		Network:     s.Name,
+		Routers:     len(s.Network.RoutersAndSwitches()),
+		Hosts:       len(s.Network.Hosts()),
+		Links:       len(s.Network.Links),
+		Policies:    len(s.Policies),
+		ConfigLines: lines,
+	}
+}
+
+// Snapshot computes the baseline dataplane of the scenario.
+func (s *Scenario) Snapshot() *dataplane.Snapshot { return dataplane.Compute(s.Network) }
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
+
+// p2p addresses both ends of a /30 infrastructure link.
+func p2p(n *netmodel.Network, devA, ifA, devB, ifB, subnet string) {
+	n.MustConnect(devA, ifA, devB, ifB)
+	base := ip(subnet)
+	b := base.As4()
+	a1 := netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3] + 1})
+	a2 := netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3] + 2})
+	n.Devices[devA].Interface(ifA).Addr = netip.PrefixFrom(a1, 30)
+	n.Devices[devB].Interface(ifB).Addr = netip.PrefixFrom(a2, 30)
+}
+
+// attachHost cables a host to a routed port: the router side gets .1, the
+// host .10 of the /24, and the host's default gateway points at the router.
+func attachHost(n *netmodel.Network, host, dev, itf, subnet24 string) {
+	n.MustConnect(host, "eth0", dev, itf)
+	base := ip(subnet24)
+	b := base.As4()
+	gw := netip.AddrFrom4([4]byte{b[0], b[1], b[2], 1})
+	ha := netip.AddrFrom4([4]byte{b[0], b[1], b[2], 10})
+	n.Devices[dev].Interface(itf).Addr = netip.PrefixFrom(gw, 24)
+	h := n.Devices[host]
+	h.Interface("eth0").Addr = netip.PrefixFrom(ha, 24)
+	h.DefaultGateway = gw
+}
+
+// ospfAll enables OSPF (process 1, area 0, 10.0.0.0/8) on the named
+// devices, marking host-facing and SVI interfaces passive.
+func ospfAll(n *netmodel.Network, devices []string) {
+	for _, name := range devices {
+		d := n.Devices[name]
+		d.OSPF = &netmodel.OSPFProcess{
+			ProcessID: 1,
+			RouterID:  routerID(name),
+			Networks:  []netmodel.OSPFNetwork{{Prefix: pfx("10.0.0.0/8"), Area: 0}},
+			Passive:   map[string]bool{},
+		}
+		for _, ifName := range d.InterfaceNames() {
+			itf := d.Interfaces[ifName]
+			if !itf.HasAddr() {
+				continue
+			}
+			// Host subnets and SVIs are passive: advertised, no adjacency.
+			if itf.Addr.Bits() == 24 {
+				link := n.LinkAt(name, ifName)
+				peerIsInfra := false
+				if link != nil {
+					if other, ok := link.Other(name); ok {
+						peerIsInfra = n.Devices[other.Device].Kind != netmodel.Host
+					}
+				}
+				if itf.IsSVI() || !peerIsInfra {
+					d.OSPF.Passive[ifName] = true
+				}
+			}
+		}
+	}
+}
+
+func routerID(name string) netip.Addr {
+	var n int
+	fmt.Sscanf(name[len(name)-1:], "%d", &n)
+	if n == 0 {
+		n = 99
+	}
+	return netip.AddrFrom4([4]byte{byte(n), byte(n), byte(n), byte(n)})
+}
+
+// mgmtACL pads a device with the kind of operational ACL real enterprise
+// configs carry (management-plane filters), sized to calibrate the config
+// line counts of Table 1. The ACL is not bound to any interface.
+func mgmtACL(d *netmodel.Device, entries int) {
+	a := d.ACL("MGMT-PLANE", true)
+	for i := 0; i < entries; i++ {
+		e := netmodel.ACLEntry{
+			Seq:    (i + 1) * 10,
+			Action: netmodel.Deny,
+			Proto:  netmodel.TCP,
+			Src:    netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 168, byte(i / 250), byte(1 + i%250)}), 32),
+			Dst:    pfx("10.0.0.0/8"),
+		}
+		if i%2 == 0 {
+			e.DstPort = 23 // telnet
+		} else {
+			e.DstPort = 22
+		}
+		a.InsertEntry(e)
+	}
+	a.InsertEntry(netmodel.ACLEntry{Seq: (entries + 1) * 10, Action: netmodel.Permit})
+}
+
+func secrets(d *netmodel.Device, seed string) {
+	d.Secrets["enable"] = "ENC-" + seed
+	d.Secrets["snmp"] = "comm-" + seed
+}
+
+func render(n *netmodel.Network) map[string]string {
+	out := make(map[string]string, len(n.Devices))
+	for name, d := range n.Devices {
+		out[name] = config.Print(d)
+	}
+	return out
+}

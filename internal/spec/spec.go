@@ -1,0 +1,105 @@
+// Package spec mines network policies from a baseline snapshot, playing the
+// role config2spec plays in the paper's pipeline: given the configurations
+// of a presumably-working network, derive the specification (reachability
+// and isolation policies) the enterprise expects to keep holding.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/verify"
+)
+
+// Options controls policy mining.
+type Options struct {
+	// Services lists (proto, port) pairs probed between every host pair.
+	// Empty means a single ICMP probe.
+	Services []Service
+	// Sensitive names hosts for which *non*-reachability is promoted to an
+	// isolation policy. Pairs not involving a sensitive host that are
+	// unreachable yield no policy (absence of connectivity between random
+	// hosts is rarely intended behaviour worth pinning).
+	Sensitive map[string]bool
+	// MaxPolicies truncates the mined set deterministically (0 = no limit),
+	// matching how operators curate config2spec output down to the
+	// constraints they care about.
+	MaxPolicies int
+	// Waypoints names devices (e.g. firewalls) whose traversal should be
+	// pinned: a delivered flow crossing a waypoint device yields a
+	// waypoint policy instead of a plain reachability policy.
+	Waypoints map[string]bool
+}
+
+// Service is one probed protocol/port combination.
+type Service struct {
+	Proto netmodel.Protocol
+	Port  uint16
+}
+
+// Mine computes the policy set implied by the snapshot's behaviour: every
+// host pair is probed for every service; delivered flows become
+// reachability policies, and undelivered flows touching a sensitive host
+// become isolation policies.
+func Mine(s *dataplane.Snapshot, n *netmodel.Network, opts Options) []verify.Policy {
+	services := opts.Services
+	if len(services) == 0 {
+		services = []Service{{Proto: netmodel.ICMP}}
+	}
+	hosts := n.Hosts()
+	var out []verify.Policy
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			for _, svc := range services {
+				tr, err := s.Reach(src, dst, svc.Proto, svc.Port)
+				if err != nil {
+					continue
+				}
+				switch {
+				case tr.Delivered():
+					p := verify.Policy{
+						Kind: verify.Reachability, Src: src, Dst: dst,
+						Proto: svc.Proto, DstPort: svc.Port,
+					}
+					for _, hop := range tr.Hops {
+						if opts.Waypoints[hop.Device] {
+							p.Kind = verify.Waypoint
+							p.Via = hop.Device
+							break
+						}
+					}
+					out = append(out, p)
+				case opts.Sensitive[dst] || opts.Sensitive[src]:
+					out = append(out, verify.Policy{
+						Kind: verify.Isolation, Src: src, Dst: dst,
+						Proto: svc.Proto, DstPort: svc.Port,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return policyKey(out[i]) < policyKey(out[j]) })
+	if opts.MaxPolicies > 0 && len(out) > opts.MaxPolicies {
+		// Deterministic stratified truncation: keep every k-th policy so
+		// both kinds and all host pairs stay represented.
+		kept := make([]verify.Policy, 0, opts.MaxPolicies)
+		step := float64(len(out)) / float64(opts.MaxPolicies)
+		for i := 0; i < opts.MaxPolicies; i++ {
+			kept = append(kept, out[int(float64(i)*step)])
+		}
+		out = kept
+	}
+	for i := range out {
+		out[i].ID = fmt.Sprintf("P%03d", i+1)
+	}
+	return out
+}
+
+func policyKey(p verify.Policy) string {
+	return fmt.Sprintf("%d|%s|%s|%d|%d|%s", p.Kind, p.Src, p.Dst, p.Proto, p.DstPort, p.Via)
+}

@@ -1,0 +1,84 @@
+package ticket
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"heimdall/internal/console"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+)
+
+func bgpFaultNet() *netmodel.Network {
+	n := netmodel.NewNetwork("bf")
+	r1 := n.AddDevice("edge", netmodel.Router)
+	r2 := n.AddDevice("isp", netmodel.Router)
+	h1 := n.AddDevice("h1", netmodel.Host)
+	h2 := n.AddDevice("ext", netmodel.Host)
+	n.MustConnect("h1", "eth0", "edge", "Gi0/0")
+	n.MustConnect("edge", "Gi0/1", "isp", "Gi0/0")
+	n.MustConnect("isp", "Gi0/1", "ext", "eth0")
+	h1.Interface("eth0").Addr = netip.MustParsePrefix("10.1.0.10/24")
+	h1.DefaultGateway = netip.MustParseAddr("10.1.0.1")
+	r1.Interface("Gi0/0").Addr = netip.MustParsePrefix("10.1.0.1/24")
+	r1.Interface("Gi0/1").Addr = netip.MustParsePrefix("203.0.113.1/30")
+	r2.Interface("Gi0/0").Addr = netip.MustParsePrefix("203.0.113.2/30")
+	r2.Interface("Gi0/1").Addr = netip.MustParsePrefix("198.51.100.1/24")
+	h2.Interface("eth0").Addr = netip.MustParsePrefix("198.51.100.10/24")
+	h2.DefaultGateway = netip.MustParseAddr("198.51.100.1")
+	r1.BGP = &netmodel.BGPProcess{LocalAS: 65001,
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/24")}}
+	r1.BGP.SetNeighbor(netip.MustParseAddr("203.0.113.2"), 65010)
+	r2.BGP = &netmodel.BGPProcess{LocalAS: 65010,
+		Networks: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}}
+	r2.BGP.SetNeighbor(netip.MustParseAddr("203.0.113.1"), 65001)
+	return n
+}
+
+func TestBGPWrongASFault(t *testing.T) {
+	n := bgpFaultNet()
+	check := func(want bool, context string) {
+		t.Helper()
+		tr, err := dataplane.Compute(n).Reach("h1", "ext", netmodel.ICMP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Delivered() != want {
+			t.Fatalf("%s: delivered=%v want %v (%s)", context, tr.Delivered(), want, tr)
+		}
+	}
+	check(true, "baseline")
+
+	f := BGPWrongAS("edge", 65001, netip.MustParseAddr("203.0.113.2"), 65011, 65010)
+	if f.Kind != privilege.TaskISP || f.RootCause != "edge" {
+		t.Fatalf("fault metadata = %+v", f)
+	}
+	if !strings.Contains(f.Description, "remote-as 65011") {
+		t.Fatalf("description = %q", f.Description)
+	}
+	if err := f.Inject(n); err != nil {
+		t.Fatal(err)
+	}
+	check(false, "after fault")
+
+	// The prepared fix restores the session.
+	env := console.NewEnv(n)
+	for _, cmd := range f.Fix {
+		if _, err := console.New(cmd.Device, env).Run(cmd.Line); err != nil {
+			t.Fatalf("fix %q: %v", cmd.Line, err)
+		}
+	}
+	check(true, "after fix")
+}
+
+func TestBGPWrongASInjectErrors(t *testing.T) {
+	n := bgpFaultNet()
+	if err := BGPWrongAS("h1", 1, netip.MustParseAddr("1.2.3.4"), 2, 3).Inject(n); err == nil {
+		t.Error("host without BGP accepted")
+	}
+	if err := BGPWrongAS("edge", 65001, netip.MustParseAddr("9.9.9.9"), 2, 3).Inject(n); err == nil {
+		t.Error("unknown neighbor accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package ticket implements the MSP ticketing system of the paper's
+// workflow (§2.1): tickets created by the customer's network admin or a
+// monitoring system, picked up by MSP technicians, and closed when the
+// issue is resolved. It also provides the fault-injection library used by
+// the evaluation to reproduce real-world issue classes (VLAN
+// misassignment, OSPF misconfiguration, ISP reconfiguration, interface
+// failures, ACL misconfigurations).
+package ticket
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+)
+
+// Status is the lifecycle state of a ticket.
+type Status int
+
+const (
+	// Open means no technician has picked the ticket up yet.
+	Open Status = iota
+	// InProgress means a technician is working on it.
+	InProgress
+	// Resolved means the fix has been applied and verified.
+	Resolved
+	// Rejected means the proposed fix was refused by the policy enforcer.
+	Rejected
+	// Closed means the admin confirmed and archived the ticket.
+	Closed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case InProgress:
+		return "in-progress"
+	case Resolved:
+		return "resolved"
+	case Rejected:
+		return "rejected"
+	case Closed:
+		return "closed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// validTransitions encodes the ticket lifecycle.
+var validTransitions = map[Status][]Status{
+	Open:       {InProgress, Closed},
+	InProgress: {Resolved, Rejected, Open},
+	Resolved:   {Closed, InProgress},
+	Rejected:   {InProgress, Closed},
+	Closed:     {},
+}
+
+// Ticket describes one reported issue.
+type Ticket struct {
+	ID      string
+	Summary string
+	Kind    privilege.TaskKind
+	// SrcHost and DstHost are the affected endpoints for connectivity
+	// issues ("a web service on H cannot receive packets").
+	SrcHost string
+	DstHost string
+	Proto   netmodel.Protocol
+	DstPort uint16
+	// Suspects optionally names devices the reporter believes are
+	// involved; the twin's slice always includes them.
+	Suspects []string
+
+	Status    Status
+	CreatedBy string
+	Assignee  string
+	CreatedAt time.Time
+	Notes     []string
+}
+
+// System is the ticketing service. It is safe for concurrent use.
+type System struct {
+	mu      sync.Mutex
+	seq     int
+	tickets map[string]*Ticket
+	now     func() time.Time
+}
+
+// NewSystem returns an empty ticketing system.
+func NewSystem() *System {
+	return &System{tickets: make(map[string]*Ticket), now: time.Now}
+}
+
+// SetClock replaces the time source for deterministic tests.
+func (s *System) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Create files a new ticket and assigns it an ID.
+func (s *System) Create(t Ticket) *Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	t.ID = fmt.Sprintf("T-%04d", s.seq)
+	t.Status = Open
+	t.CreatedAt = s.now()
+	s.tickets[t.ID] = &t
+	return &t
+}
+
+// Get returns a copy of the ticket, or nil.
+func (s *System) Get(id string) *Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tickets[id]
+	if !ok {
+		return nil
+	}
+	c := *t
+	c.Notes = append([]string(nil), t.Notes...)
+	return &c
+}
+
+// List returns copies of all tickets sorted by ID.
+func (s *System) List() []Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Ticket, 0, len(s.tickets))
+	for _, t := range s.tickets {
+		c := *t
+		c.Notes = append([]string(nil), t.Notes...)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Assign puts the ticket in progress under the named technician.
+func (s *System) Assign(id, technician string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tickets[id]
+	if !ok {
+		return fmt.Errorf("ticket: no ticket %s", id)
+	}
+	if err := checkTransition(t.Status, InProgress); err != nil {
+		return err
+	}
+	t.Status = InProgress
+	t.Assignee = technician
+	return nil
+}
+
+// Transition moves the ticket to a new lifecycle state.
+func (s *System) Transition(id string, to Status) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tickets[id]
+	if !ok {
+		return fmt.Errorf("ticket: no ticket %s", id)
+	}
+	if err := checkTransition(t.Status, to); err != nil {
+		return err
+	}
+	t.Status = to
+	return nil
+}
+
+// AddNote appends a technician note to the ticket.
+func (s *System) AddNote(id, note string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tickets[id]
+	if !ok {
+		return fmt.Errorf("ticket: no ticket %s", id)
+	}
+	t.Notes = append(t.Notes, note)
+	return nil
+}
+
+func checkTransition(from, to Status) error {
+	for _, ok := range validTransitions[from] {
+		if ok == to {
+			return nil
+		}
+	}
+	return fmt.Errorf("ticket: invalid transition %s -> %s", from, to)
+}

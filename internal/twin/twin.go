@@ -1,0 +1,187 @@
+// Package twin implements Heimdall's twin network (paper §4.2): an
+// isolated, emulated copy of the production network a technician works on
+// instead of the production network itself.
+//
+// The twin decouples the traditional monolithic emulator into:
+//
+//   - an emulation layer: a full-fidelity, sanitized clone of every device,
+//     so faults reproduce exactly (security comes from mediation, not from
+//     omitting devices that might be the root cause);
+//   - a presentation layer: the topology view and consoles exposed to the
+//     technician, restricted to a task-driven slice of devices relevant to
+//     the ticket;
+//   - a reference monitor between them that mediates every command against
+//     the ticket's Privilegemsp and records every decision in the audit
+//     trail.
+package twin
+
+import (
+	"fmt"
+	"sort"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/console"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+)
+
+// Config assembles a twin network for one ticket.
+type Config struct {
+	Ticket     string
+	Technician string
+	// Production is the network being mimicked; the twin never mutates it.
+	Production *netmodel.Network
+	// Spec is the ticket's Privilegemsp enforced by the reference monitor.
+	Spec *privilege.Spec
+	// Slice is the set of devices visible in the presentation layer.
+	// Compute it with ComputeSlice, or pass nil to expose everything
+	// (the "All" baseline of the evaluation).
+	Slice map[string]bool
+	// Trail receives reference-monitor decisions; nil disables auditing.
+	Trail *audit.Trail
+}
+
+// Twin is one instantiated twin network.
+type Twin struct {
+	ticket     string
+	technician string
+	spec       *privilege.Spec
+	baseline   *netmodel.Network // sanitized clone kept pristine for diffing
+	emul       *netmodel.Network // the mutable emulation layer
+	slice      map[string]bool   // nil means every device is visible
+	env        *console.Env
+	trail      *audit.Trail
+}
+
+// New builds the twin: the emulation layer is a sanitized deep copy of
+// production (secrets redacted), and a second pristine copy is retained as
+// the diff baseline.
+func New(cfg Config) (*Twin, error) {
+	if cfg.Production == nil {
+		return nil, fmt.Errorf("twin: nil production network")
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("twin: nil Privilegemsp")
+	}
+	sanitized := cfg.Production.Clone()
+	for name, d := range sanitized.Devices {
+		sanitized.Devices[name] = config.Sanitize(d)
+	}
+	tw := &Twin{
+		ticket:     cfg.Ticket,
+		technician: cfg.Technician,
+		spec:       cfg.Spec,
+		baseline:   sanitized,
+		emul:       sanitized.Clone(),
+		slice:      cfg.Slice,
+		trail:      cfg.Trail,
+	}
+	tw.env = console.NewEnv(tw.emul)
+	tw.log(audit.KindSession, fmt.Sprintf("twin created (%d devices, %d visible)",
+		len(tw.emul.Devices), len(tw.VisibleDevices())), true)
+	return tw, nil
+}
+
+// log appends to the audit trail when one is attached.
+func (tw *Twin) log(kind audit.Kind, detail string, allowed bool) {
+	if tw.trail != nil {
+		tw.trail.Append(tw.ticket, tw.technician, kind, detail, allowed)
+	}
+}
+
+// VisibleDevices returns the presentation-layer topology: the devices the
+// technician can see and open consoles on, sorted.
+func (tw *Twin) VisibleDevices() []string {
+	if tw.slice == nil {
+		return tw.emul.DeviceNames()
+	}
+	var out []string
+	for name := range tw.slice {
+		if tw.emul.Devices[name] != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Visible reports whether a device is inside the presentation slice.
+func (tw *Twin) Visible(device string) bool {
+	if tw.slice == nil {
+		return tw.emul.Devices[device] != nil
+	}
+	return tw.slice[device] && tw.emul.Devices[device] != nil
+}
+
+// Network exposes the emulation layer, used by the enforcer for diffing
+// and by tests; technicians only ever interact through sessions.
+func (tw *Twin) Network() *netmodel.Network { return tw.emul }
+
+// Baseline returns the pristine sanitized copy the twin started from.
+func (tw *Twin) Baseline() *netmodel.Network { return tw.baseline }
+
+// Snapshot returns the twin's current dataplane snapshot.
+func (tw *Twin) Snapshot() *dataplane.Snapshot { return tw.env.Snapshot() }
+
+// Changes computes the semantic configuration diff between the twin's
+// baseline and its current state: exactly what the technician changed.
+func (tw *Twin) Changes() []config.Change {
+	return config.DiffNetwork(tw.baseline, tw.emul)
+}
+
+// Session is a mediated console on one visible device.
+type Session struct {
+	twin *Twin
+	con  *console.Console
+}
+
+// OpenConsole opens a session on a device. Devices outside the slice do
+// not exist as far as the presentation layer is concerned.
+func (tw *Twin) OpenConsole(device string) (*Session, error) {
+	if !tw.Visible(device) {
+		tw.log(audit.KindDecision, fmt.Sprintf("deny console on %s (outside slice)", device), false)
+		return nil, fmt.Errorf("twin: no such device %q", device)
+	}
+	tw.log(audit.KindSession, "console opened on "+device, true)
+	return &Session{twin: tw, con: console.New(device, tw.env)}, nil
+}
+
+// Device returns the session's device name.
+func (s *Session) Device() string { return s.con.Device() }
+
+// ErrDenied is returned (wrapped) when the reference monitor blocks a
+// command.
+type ErrDenied struct {
+	Action   string
+	Resource string
+}
+
+// Error implements the error interface.
+func (e *ErrDenied) Error() string {
+	return fmt.Sprintf("twin: permission denied: %s on %s", e.Action, e.Resource)
+}
+
+// Exec runs one command line through the reference monitor: parse,
+// privilege check, audit, then execute in the emulation layer.
+func (s *Session) Exec(line string) (string, error) {
+	tw := s.twin
+	cmd, err := s.con.Parse(line)
+	if err != nil {
+		tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s (parse error)", s.Device(), line), false)
+		return "", err
+	}
+	tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s", s.Device(), line), true)
+	if !tw.spec.Allows(cmd.Action, cmd.Resource) {
+		tw.log(audit.KindDecision, fmt.Sprintf("deny %s on %s", cmd.Action, cmd.Resource), false)
+		return "", &ErrDenied{Action: cmd.Action, Resource: cmd.Resource}
+	}
+	tw.log(audit.KindDecision, fmt.Sprintf("allow %s on %s", cmd.Action, cmd.Resource), true)
+	out, err := s.con.Execute(cmd)
+	if err != nil {
+		tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s failed: %v", s.Device(), line, err), true)
+		return "", err
+	}
+	return out, nil
+}

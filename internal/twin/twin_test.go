@@ -1,0 +1,316 @@
+package twin
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+)
+
+// prodNet: h1 - r1 - r2 - r3 - h2 with an extra stub router r4 and a
+// sensitive host h3 hanging off r4 (outside the h1<->h2 task).
+func prodNet() *netmodel.Network {
+	n := netmodel.NewNetwork("prod")
+	for _, r := range []string{"r1", "r2", "r3", "r4"} {
+		n.AddDevice(r, netmodel.Router)
+	}
+	for _, h := range []string{"h1", "h2", "h3"} {
+		n.AddDevice(h, netmodel.Host)
+	}
+	n.MustConnect("h1", "eth0", "r1", "Gi0/0")
+	n.MustConnect("r1", "Gi0/1", "r2", "Gi0/0")
+	n.MustConnect("r2", "Gi0/1", "r3", "Gi0/0")
+	n.MustConnect("r3", "Gi0/1", "h2", "eth0")
+	n.MustConnect("r2", "Gi0/2", "r4", "Gi0/0")
+	n.MustConnect("r4", "Gi0/1", "h3", "eth0")
+
+	set := func(dev, itf, addr string) {
+		n.Device(dev).Interface(itf).Addr = netip.MustParsePrefix(addr)
+	}
+	set("h1", "eth0", "10.1.0.10/24")
+	n.Device("h1").DefaultGateway = netip.MustParseAddr("10.1.0.1")
+	set("r1", "Gi0/0", "10.1.0.1/24")
+	set("r1", "Gi0/1", "10.0.12.1/30")
+	set("r2", "Gi0/0", "10.0.12.2/30")
+	set("r2", "Gi0/1", "10.0.23.1/30")
+	set("r3", "Gi0/0", "10.0.23.2/30")
+	set("r3", "Gi0/1", "10.2.0.1/24")
+	set("h2", "eth0", "10.2.0.10/24")
+	n.Device("h2").DefaultGateway = netip.MustParseAddr("10.2.0.1")
+	set("r2", "Gi0/2", "10.0.24.1/30")
+	set("r4", "Gi0/0", "10.0.24.2/30")
+	set("r4", "Gi0/1", "10.3.0.1/24")
+	set("h3", "eth0", "10.3.0.10/24")
+	n.Device("h3").DefaultGateway = netip.MustParseAddr("10.3.0.1")
+
+	for _, r := range []string{"r1", "r2", "r3", "r4"} {
+		n.Device(r).OSPF = &netmodel.OSPFProcess{ProcessID: 1,
+			Networks: []netmodel.OSPFNetwork{{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Area: 0}},
+			Passive:  map[string]bool{}}
+	}
+	n.Device("r1").Secrets["enable"] = "prod-secret"
+	return n
+}
+
+func allowAllSpec() *privilege.Spec {
+	return &privilege.Spec{Ticket: "T1", Technician: "alice", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "*", Resource: "*"},
+	}}
+}
+
+func TestTwinIsolatesProduction(t *testing.T) {
+	prod := prodNet()
+	tw, err := New(Config{Ticket: "T1", Technician: "alice", Production: prod, Spec: allowAllSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tw.OpenConsole("r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("interface Gi0/1 shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	if prod.Device("r2").Interface("Gi0/1").Shutdown {
+		t.Fatal("twin change leaked into production")
+	}
+	if !tw.Network().Device("r2").Interface("Gi0/1").Shutdown {
+		t.Fatal("twin change not applied to emulation layer")
+	}
+}
+
+func TestTwinSanitizesSecrets(t *testing.T) {
+	tw, _ := New(Config{Ticket: "T1", Technician: "alice", Production: prodNet(), Spec: allowAllSpec()})
+	sess, _ := tw.OpenConsole("r1")
+	out, err := sess.Exec("show running-config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "prod-secret") {
+		t.Fatal("twin console leaks production secrets")
+	}
+	if !strings.Contains(out, "<redacted>") {
+		t.Fatal("expected redaction marker in running config")
+	}
+}
+
+func TestReferenceMonitorEnforcesPrivileges(t *testing.T) {
+	spec := &privilege.Spec{Ticket: "T1", Technician: "alice", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "show.*", Resource: "device:*"},
+		{Effect: privilege.AllowEffect, Action: "diag.*", Resource: "device:*"},
+		{Effect: privilege.AllowEffect, Action: "config.acl.*", Resource: "device:r3"},
+	}}
+	trail := audit.NewTrail([]byte("k"))
+	tw, err := New(Config{Ticket: "T1", Technician: "alice", Production: prodNet(), Spec: spec, Trail: trail})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r3, _ := tw.OpenConsole("r3")
+	if _, err := r3.Exec("show ip route"); err != nil {
+		t.Fatalf("allowed show failed: %v", err)
+	}
+	if _, err := r3.Exec("access-list EDGE 10 permit ip any any"); err != nil {
+		t.Fatalf("allowed acl change failed: %v", err)
+	}
+	// Interface shutdown is not granted.
+	_, err = r3.Exec("interface Gi0/1 shutdown")
+	var denied *ErrDenied
+	if !errors.As(err, &denied) {
+		t.Fatalf("expected ErrDenied, got %v", err)
+	}
+	if denied.Action != "config.interface.set" {
+		t.Fatalf("denied action = %s", denied.Action)
+	}
+	// ACL changes on another device are denied too.
+	r1, _ := tw.OpenConsole("r1")
+	if _, err := r1.Exec("access-list X 10 permit ip any any"); err == nil {
+		t.Fatal("acl change on r1 should be denied")
+	}
+
+	// Every decision is on the audit trail.
+	var denies, allows int
+	for _, e := range trail.Entries() {
+		if e.Kind == audit.KindDecision {
+			if e.Allowed {
+				allows++
+			} else {
+				denies++
+			}
+		}
+	}
+	if denies != 2 || allows < 2 {
+		t.Fatalf("audit decisions: %d denies, %d allows", denies, allows)
+	}
+	if err := trail.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresentationSliceHidesDevices(t *testing.T) {
+	prod := prodNet()
+	snap := dataplane.Compute(prod)
+	slice := ComputeSlice(prod, snap, SliceTaskDriven, "h1", "h2", nil)
+	tw, err := New(Config{Ticket: "T1", Technician: "alice", Production: prod,
+		Spec: allowAllSpec(), Slice: slice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path devices are visible.
+	for _, dev := range []string{"h1", "r1", "r2", "r3", "h2"} {
+		if !tw.Visible(dev) {
+			t.Errorf("%s should be visible", dev)
+		}
+	}
+	// The stub router and sensitive host are not.
+	for _, dev := range []string{"r4", "h3"} {
+		if tw.Visible(dev) {
+			t.Errorf("%s should be hidden", dev)
+		}
+		if _, err := tw.OpenConsole(dev); err == nil {
+			t.Errorf("console on hidden %s should fail", dev)
+		}
+	}
+	// But the hidden devices still exist in the emulation layer, so the
+	// dataplane behaves faithfully.
+	if tw.Network().Device("r4") == nil {
+		t.Fatal("emulation layer must contain hidden devices")
+	}
+}
+
+func TestSliceStrategies(t *testing.T) {
+	prod := prodNet()
+	snap := dataplane.Compute(prod)
+
+	all := ComputeSlice(prod, snap, SliceAll, "h1", "h2", nil)
+	if len(all) != len(prod.Devices) {
+		t.Fatalf("All slice = %d devices, want %d", len(all), len(prod.Devices))
+	}
+
+	nb := ComputeSlice(prod, snap, SliceNeighbors, "h1", "h2", nil)
+	// h1, h2 and their gateways r1, r3 — but not the middle router r2.
+	for _, dev := range []string{"h1", "h2", "r1", "r3"} {
+		if !nb[dev] {
+			t.Errorf("Neighbor slice missing %s: %v", dev, nb)
+		}
+	}
+	if nb["r2"] || nb["r4"] {
+		t.Errorf("Neighbor slice too wide: %v", nb)
+	}
+
+	task := ComputeSlice(prod, snap, SliceTaskDriven, "h1", "h2", nil)
+	for _, dev := range []string{"h1", "r1", "r2", "r3", "h2"} {
+		if !task[dev] {
+			t.Errorf("task slice missing %s: %v", dev, task)
+		}
+	}
+	if task["r4"] || task["h3"] {
+		t.Errorf("task slice includes irrelevant devices: %v", task)
+	}
+
+	// Suspects are always included.
+	withSuspect := ComputeSlice(prod, snap, SliceTaskDriven, "h1", "h2", []string{"r4"})
+	if !withSuspect["r4"] {
+		t.Error("suspect not included")
+	}
+
+	// Strategy names match the paper's figures.
+	if SliceAll.String() != "All" || SliceNeighbors.String() != "Neighbor" || SliceTaskDriven.String() != "Heimdall" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestChangesDiffBaseline(t *testing.T) {
+	tw, _ := New(Config{Ticket: "T1", Technician: "alice", Production: prodNet(), Spec: allowAllSpec()})
+	if got := tw.Changes(); len(got) != 0 {
+		t.Fatalf("fresh twin has changes: %v", got)
+	}
+	sess, _ := tw.OpenConsole("r2")
+	if _, err := sess.Exec("access-list NEW 10 deny tcp any host 10.2.0.10 eq 80"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("interface Gi0/2 shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	changes := tw.Changes()
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v", changes)
+	}
+	for _, c := range changes {
+		if c.Device != "r2" {
+			t.Errorf("change on wrong device: %v", c)
+		}
+	}
+}
+
+func TestTwinEndToEndDebugging(t *testing.T) {
+	// Inject the paper's running example: an ACL on r2 denies h1->h2 web
+	// traffic. The technician diagnoses with ping, inspects the ACL,
+	// removes the bad entry, and the twin confirms the fix.
+	prod := prodNet()
+	r2 := prod.Device("r2")
+	acl := r2.ACL("CORE", true)
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny, Proto: netmodel.TCP,
+		Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: 80})
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	r2.Interface("Gi0/0").ACLIn = "CORE"
+
+	snap := dataplane.Compute(prod)
+	slice := ComputeSlice(prod, snap, SliceTaskDriven, "h1", "h2", nil)
+	spec, err := privilege.Generate(privilege.TemplateInput{
+		Ticket: "T9", Technician: "alice", Kind: privilege.TaskACL,
+		Scope: keys(slice), Suspects: []string{"r1", "r2", "r3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := New(Config{Ticket: "T9", Technician: "alice", Production: prod, Spec: spec, Slice: slice})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h1, _ := tw.OpenConsole("h1")
+	out, err := h1.Exec("ping h2 tcp 80")
+	if err != nil || !strings.Contains(out, "failed") {
+		t.Fatalf("symptom should reproduce in twin: %q %v", out, err)
+	}
+	r2c, _ := tw.OpenConsole("r2")
+	out, err = r2c.Exec("show access-lists CORE")
+	if err != nil || !strings.Contains(out, "deny tcp any host 10.2.0.10 eq 80") {
+		t.Fatalf("diagnosis output: %q %v", out, err)
+	}
+	if _, err := r2c.Exec("no access-list CORE 10"); err != nil {
+		t.Fatalf("fix rejected: %v", err)
+	}
+	out, _ = h1.Exec("ping h2 tcp 80")
+	if !strings.Contains(out, "success") {
+		t.Fatalf("fix should resolve symptom in twin: %q", out)
+	}
+	changes := tw.Changes()
+	if len(changes) != 1 || changes[0].Op != config.OpRemoveACLEntry {
+		t.Fatalf("changes = %v", changes)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Spec: allowAllSpec()}); err == nil {
+		t.Error("nil production accepted")
+	}
+	if _, err := New(Config{Production: prodNet()}); err == nil {
+		t.Error("nil spec accepted")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

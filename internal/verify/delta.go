@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"fmt"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+)
+
+// Probe is one protocol/port combination checked by DiffReachability.
+type Probe struct {
+	Proto netmodel.Protocol
+	Port  uint16
+}
+
+// Delta is one host pair whose reachability flips between two snapshots —
+// the "what does this change actually do to the network" summary the
+// enforcer can show the admin alongside its accept/reject decision.
+type Delta struct {
+	Src, Dst string
+	Probe    Probe
+	// Before and After report delivery in the respective snapshots.
+	Before, After bool
+}
+
+// String renders the delta ("h1 -> h3 tcp/22: unreachable => REACHABLE").
+func (d Delta) String() string {
+	svc := d.Probe.Proto.String()
+	if d.Probe.Port != 0 {
+		svc = fmt.Sprintf("%s/%d", d.Probe.Proto, d.Probe.Port)
+	}
+	state := func(ok bool) string {
+		if ok {
+			return "REACHABLE"
+		}
+		return "unreachable"
+	}
+	return fmt.Sprintf("%s -> %s %s: %s => %s", d.Src, d.Dst, svc, state(d.Before), state(d.After))
+}
+
+// DiffReachability probes every host pair in both snapshots and returns the
+// pairs whose delivery verdict changes. Probes defaults to a single ICMP
+// probe when empty. The host list comes from the "after" network so newly
+// relevant endpoints are covered.
+func DiffReachability(before, after *dataplane.Snapshot, n *netmodel.Network, probes []Probe) []Delta {
+	if len(probes) == 0 {
+		probes = []Probe{{Proto: netmodel.ICMP}}
+	}
+	hosts := n.Hosts()
+	var out []Delta
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			for _, pr := range probes {
+				b, errB := before.Reach(src, dst, pr.Proto, pr.Port)
+				a, errA := after.Reach(src, dst, pr.Proto, pr.Port)
+				if errB != nil || errA != nil {
+					continue
+				}
+				if b.Delivered() != a.Delivered() {
+					out = append(out, Delta{
+						Src: src, Dst: dst, Probe: pr,
+						Before: b.Delivered(), After: a.Delivered(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

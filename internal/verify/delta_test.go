@@ -1,0 +1,64 @@
+package verify
+
+import (
+	"net/netip"
+	"testing"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+)
+
+func TestDiffReachabilityFindsFlips(t *testing.T) {
+	before := twoHostNet()
+	after := before.Clone()
+	// Block h1 -> h2 in the "after" state.
+	r1 := after.Device("r1")
+	acl := r1.ACL("BLOCK", true)
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny,
+		Src: mustPfx("10.1.0.0/24")})
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	r1.Interface("Gi0/0").ACLIn = "BLOCK"
+
+	deltas := DiffReachability(dataplane.Compute(before), dataplane.Compute(after), after, nil)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	d := deltas[0]
+	if d.Src != "h1" || d.Dst != "h2" || !d.Before || d.After {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.String() != "h1 -> h2 icmp: REACHABLE => unreachable" {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestDiffReachabilityIdentityIsEmpty(t *testing.T) {
+	n := twoHostNet()
+	snap := dataplane.Compute(n)
+	if deltas := DiffReachability(snap, dataplane.Compute(n.Clone()), n, nil); len(deltas) != 0 {
+		t.Fatalf("identity deltas = %v", deltas)
+	}
+}
+
+func TestDiffReachabilityMultipleProbes(t *testing.T) {
+	before := twoHostNet()
+	after := before.Clone()
+	// Block only tcp/80: the ICMP probe stays stable, the web probe flips.
+	r1 := after.Device("r1")
+	acl := r1.ACL("WEB", true)
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny,
+		Proto: netmodel.TCP, DstPort: 80})
+	acl.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	r1.Interface("Gi0/0").ACLIn = "WEB"
+
+	probes := []Probe{{Proto: netmodel.ICMP}, {Proto: netmodel.TCP, Port: 80}}
+	deltas := DiffReachability(dataplane.Compute(before), dataplane.Compute(after), after, probes)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	if deltas[0].Probe.Port != 80 {
+		t.Fatalf("wrong probe flipped: %+v", deltas[0])
+	}
+}
+
+func mustPfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }

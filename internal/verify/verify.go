@@ -1,0 +1,232 @@
+// Package verify implements Heimdall's network policy verification: the
+// policy types an enterprise states about its network (reachability,
+// isolation, waypoint traversal), a checker that evaluates them against a
+// computed dataplane snapshot, and counterexample traces for violations.
+//
+// The policy enforcer runs this checker over the twin network's output
+// before any change is imported into the production network (paper §4.3).
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+)
+
+// Kind classifies a network policy.
+type Kind int
+
+const (
+	// Reachability requires the flow to be delivered.
+	Reachability Kind = iota
+	// Isolation requires the flow NOT to be delivered.
+	Isolation
+	// Waypoint requires the flow to be delivered AND to traverse a named
+	// device (e.g. a firewall).
+	Waypoint
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Reachability:
+		return "reachability"
+	case Isolation:
+		return "isolation"
+	case Waypoint:
+		return "waypoint"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Policy is one verifiable statement about the network's behaviour.
+// Src and Dst name hosts; the checker resolves their addresses from the
+// snapshot under test.
+type Policy struct {
+	ID      string
+	Kind    Kind
+	Src     string
+	Dst     string
+	Proto   netmodel.Protocol
+	DstPort uint16
+	// Via is the waypoint device for Kind == Waypoint.
+	Via string
+}
+
+// String renders the policy in config2spec-like syntax.
+func (p Policy) String() string {
+	svc := p.Proto.String()
+	if p.DstPort != 0 {
+		svc = fmt.Sprintf("%s/%d", p.Proto, p.DstPort)
+	}
+	switch p.Kind {
+	case Reachability:
+		return fmt.Sprintf("%s: reachable(%s -> %s, %s)", p.ID, p.Src, p.Dst, svc)
+	case Isolation:
+		return fmt.Sprintf("%s: isolated(%s -> %s, %s)", p.ID, p.Src, p.Dst, svc)
+	case Waypoint:
+		return fmt.Sprintf("%s: waypoint(%s -> %s, %s, via %s)", p.ID, p.Src, p.Dst, svc, p.Via)
+	}
+	return p.ID
+}
+
+// policyJSON is the Batfish-inspired JSON frontend format.
+type policyJSON struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Proto   string `json:"proto,omitempty"`
+	DstPort uint16 `json:"dstPort,omitempty"`
+	Via     string `json:"via,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(policyJSON{
+		ID: p.ID, Kind: p.Kind.String(), Src: p.Src, Dst: p.Dst,
+		Proto: p.Proto.String(), DstPort: p.DstPort, Via: p.Via,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var j policyJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var kind Kind
+	switch j.Kind {
+	case "reachability":
+		kind = Reachability
+	case "isolation":
+		kind = Isolation
+	case "waypoint":
+		kind = Waypoint
+	default:
+		return fmt.Errorf("verify: unknown policy kind %q", j.Kind)
+	}
+	proto := netmodel.AnyProto
+	if j.Proto != "" {
+		var err error
+		proto, err = netmodel.ParseProtocol(j.Proto)
+		if err != nil {
+			return err
+		}
+	}
+	*p = Policy{ID: j.ID, Kind: kind, Src: j.Src, Dst: j.Dst, Proto: proto, DstPort: j.DstPort, Via: j.Via}
+	return nil
+}
+
+// ParsePolicies decodes a JSON array of policies.
+func ParsePolicies(data []byte) ([]Policy, error) {
+	var out []Policy
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("verify: parsing policies: %w", err)
+	}
+	return out, nil
+}
+
+// MarshalPolicies encodes policies as indented JSON.
+func MarshalPolicies(policies []Policy) ([]byte, error) {
+	return json.MarshalIndent(policies, "", "  ")
+}
+
+// Violation is one failed policy with its counterexample trace.
+type Violation struct {
+	Policy Policy
+	Trace  *dataplane.Trace
+	Reason string
+}
+
+// String renders the violation with its evidence.
+func (v Violation) String() string {
+	s := fmt.Sprintf("VIOLATION %s: %s", v.Policy, v.Reason)
+	if v.Trace != nil {
+		s += " | " + v.Trace.String()
+	}
+	return s
+}
+
+// Result summarises one verification run.
+type Result struct {
+	Checked    int
+	Violations []Violation
+	Elapsed    time.Duration
+}
+
+// OK reports whether every policy held.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Check evaluates every policy against the snapshot.
+func Check(s *dataplane.Snapshot, policies []Policy) *Result {
+	start := time.Now()
+	res := &Result{Checked: len(policies)}
+	for _, p := range policies {
+		if v := CheckPolicy(s, p); v != nil {
+			res.Violations = append(res.Violations, *v)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// CheckPolicy evaluates one policy, returning nil when it holds and the
+// violation (with counterexample) when it does not.
+func CheckPolicy(s *dataplane.Snapshot, p Policy) *Violation {
+	tr, err := s.Reach(p.Src, p.Dst, p.Proto, p.DstPort)
+	if err != nil {
+		return &Violation{Policy: p, Reason: err.Error()}
+	}
+	switch p.Kind {
+	case Reachability:
+		if !tr.Delivered() {
+			return &Violation{Policy: p, Trace: tr, Reason: "flow not delivered"}
+		}
+	case Isolation:
+		if tr.Delivered() {
+			return &Violation{Policy: p, Trace: tr, Reason: "flow delivered but must be isolated"}
+		}
+	case Waypoint:
+		if !tr.Delivered() {
+			return &Violation{Policy: p, Trace: tr, Reason: "flow not delivered"}
+		}
+		if !tr.Traverses(p.Via) {
+			return &Violation{Policy: p, Trace: tr, Reason: fmt.Sprintf("flow bypasses waypoint %s", p.Via)}
+		}
+	default:
+		return &Violation{Policy: p, Reason: "unknown policy kind"}
+	}
+	return nil
+}
+
+// AffectedBy returns the subset of policies whose src->dst traffic traverses
+// any of the named devices in the baseline snapshot. The enforcer uses this
+// to verify only impacted policies when incremental verification is enabled.
+func AffectedBy(s *dataplane.Snapshot, policies []Policy, devices map[string]bool) []Policy {
+	var out []Policy
+	for _, p := range policies {
+		tr, err := s.Reach(p.Src, p.Dst, p.Proto, p.DstPort)
+		if err != nil {
+			out = append(out, p)
+			continue
+		}
+		touched := false
+		for _, h := range tr.Hops {
+			if devices[h.Device] {
+				touched = true
+				break
+			}
+		}
+		// Non-delivered flows could become delivered by changes anywhere;
+		// isolation policies therefore always stay in scope.
+		if touched || !tr.Delivered() || p.Kind == Isolation {
+			out = append(out, p)
+		}
+	}
+	return out
+}
