@@ -22,6 +22,7 @@ import (
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/twin"
 	"heimdall/internal/verify"
@@ -242,6 +243,35 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMonitorOverheadInstrumented is the mediated benchmark with a
+// live telemetry registry wired into the twin, so the delta against
+// BenchmarkMonitorOverhead/mediated is the full cost of instrumentation
+// (counter lookups, histogram observations) on the hot mediation path.
+func BenchmarkMonitorOverheadInstrumented(b *testing.B) {
+	scen := scenarios.Enterprise()
+	spec := &privilege.Spec{Ticket: "B", Technician: "bench", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "*", Resource: "*"},
+	}}
+	tw, err := twin.New(twin.Config{
+		Ticket: "B", Technician: "bench",
+		Production: scen.Network, Spec: spec,
+		Meter: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := tw.OpenConsole("r1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Exec("show ip route"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSnapshotCompute measures dataplane computation on both

@@ -8,7 +8,9 @@
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
-// full search used for the recorded results).
+// full search used for the recorded results). With -telemetry, -fig7 also
+// exports the pilot-study runs as span JSONL (one span per modeled
+// workflow step, on a deterministic virtual clock) to the -spans file.
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		verifyCost = flag.Bool("verifycost", false, "measure the verification-cost anchor")
 		all        = flag.Bool("all", false, "run every experiment")
 		budget     = flag.Int("budget", 0, "mutation budget per sample for fig8/fig9 (0 = full search)")
+		telem      = flag.Bool("telemetry", false, "with -fig7: export pilot-study spans as JSONL")
+		spansPath  = flag.String("spans", "fig7_spans.jsonl", "span JSONL output path for -telemetry")
 	)
 	flag.Parse()
 	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *all) {
@@ -53,6 +57,24 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatFigure7(runs))
+			if *telem {
+				// A fixed epoch keeps the virtual-clock spans byte-for-byte
+				// reproducible across runs.
+				start := time.Date(2021, time.November, 1, 0, 0, 0, 0, time.UTC)
+				tr := experiments.TraceFigure7(runs, start)
+				f, err := os.Create(*spansPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := tr.ExportJSONL(f); err != nil {
+					f.Close()
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("wrote %d spans to %s\n", len(tr.Finished()), *spansPath)
+			}
 		})
 	}
 	if *all || *fig8 {

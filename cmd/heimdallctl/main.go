@@ -8,6 +8,7 @@
 //	heimdallctl exec      -scenario enterprise -device r1 -line "show ip route"
 //	heimdallctl terminal  -scenario enterprise -device r1  # interactive modal shell
 //	heimdallctl rmm       -scenario enterprise            # serve the baseline RMM over TCP
+//	heimdallctl metrics   -scenario enterprise -issue vlan # workflow + Prometheus dump
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"heimdall/internal/core"
 	"heimdall/internal/rmm"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/verify"
 )
@@ -51,7 +53,9 @@ func main() {
 	case "policies":
 		printPolicies(scen)
 	case "workflow":
-		runWorkflow(scen, *issueName)
+		runWorkflow(scen, *issueName, nil)
+	case "metrics":
+		runMetrics(scen, *issueName)
 	case "exec":
 		runExec(scen, *device, *line)
 	case "terminal":
@@ -64,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm|metrics} [flags]")
 	os.Exit(2)
 }
 
@@ -112,7 +116,7 @@ func printPolicies(scen *scenarios.Scenario) {
 	fmt.Println(string(data))
 }
 
-func runWorkflow(scen *scenarios.Scenario, issueName string) {
+func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Meter) {
 	if issueName == "" {
 		log.Fatal("workflow needs -issue")
 	}
@@ -132,6 +136,7 @@ func runWorkflow(scen *scenarios.Scenario, issueName string) {
 
 	sys, err := core.NewSystem(core.Options{
 		Network: scen.Network, Policies: scen.Policies, Sensitive: scen.Sensitive,
+		Meter: meter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -170,6 +175,22 @@ func runWorkflow(scen *scenarios.Scenario, issueName string) {
 	fmt.Printf("enforcer: %s (%d policies checked); ticket -> %s\n",
 		decision.Reason(), decision.Checked, sys.Tickets.Get(tk.ID).Status)
 	fmt.Printf("audit trail: %d entries\n", sys.Enforcer.Trail().Len())
+}
+
+// runMetrics runs the full mediated workflow for an issue (the scenario's
+// first issue when -issue is omitted) with a telemetry registry wired
+// through the whole mediation path, then prints the Prometheus text dump.
+func runMetrics(scen *scenarios.Scenario, issueName string) {
+	if issueName == "" {
+		if len(scen.Issues) == 0 {
+			log.Fatalf("scenario %s has no issues", scen.Name)
+		}
+		issueName = scen.Issues[0].Name
+	}
+	reg := telemetry.NewRegistry()
+	runWorkflow(scen, issueName, reg)
+	fmt.Println("\n# telemetry after the workflow:")
+	fmt.Print(reg.Dump())
 }
 
 // runExec runs one console command directly on a scenario device — handy
@@ -220,11 +241,13 @@ func runTerminal(scen *scenarios.Scenario, device string) {
 
 func serveRMM(scen *scenarios.Scenario, addr string) {
 	srv := rmm.NewServer(map[string]string{"admin": "admin"}, rmm.NewDirectBackend(scen.Network))
+	srv.SetTelemetry(telemetry.NewRegistry())
 	if err := srv.Listen(addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("baseline RMM server (direct access, no mediation) on %s\n", srv.Addr())
 	fmt.Println(`login with {"op":"login","user":"admin","token":"admin"}, then {"op":"exec","device":"r1","line":"show ip route"}`)
+	fmt.Println(`fetch the Prometheus dump with {"op":"metrics"} once logged in`)
 	fmt.Println("press enter to stop")
 	_, _ = bufio.NewReader(os.Stdin).ReadString('\n')
 	_ = srv.Close()

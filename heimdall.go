@@ -45,6 +45,7 @@ import (
 	"heimdall/internal/privilege"
 	"heimdall/internal/scenarios"
 	"heimdall/internal/spec"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/twin"
 	"heimdall/internal/verify"
@@ -330,6 +331,41 @@ var (
 	EvaluateTraffic = monitor.Evaluate
 	// UniformTrafficMatrix generates a deterministic random demand matrix.
 	UniformTrafficMatrix = monitor.UniformMatrix
+)
+
+// Telemetry: dependency-free metrics and span tracing for the mediation
+// path. Pass a *MetricsRegistry as Options.Meter to instrument a whole
+// deployment, or leave it nil for the zero-cost no-op meter.
+type (
+	// Meter hands out counters, gauges and histograms.
+	Meter = telemetry.Meter
+	// MetricsRegistry is the concrete Meter with Prometheus-text exposition.
+	MetricsRegistry = telemetry.Registry
+	// MetricLabel is one metric or span label.
+	MetricLabel = telemetry.Label
+	// Tracer records parent/child spans on a pluggable clock.
+	Tracer = telemetry.Tracer
+	// Span is one traced operation.
+	Span = telemetry.Span
+	// VirtualClock is a manually advanced clock for deterministic spans.
+	VirtualClock = telemetry.VirtualClock
+)
+
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+	// NopMeter returns the shared no-op meter.
+	NopMeter = telemetry.Nop
+	// Label builds one metric label.
+	Label = telemetry.L
+	// NewTracer creates a span tracer on the given clock (nil = wall clock).
+	NewTracer = telemetry.NewTracer
+	// NewVirtualClock creates a deterministic clock starting at start.
+	NewVirtualClock = telemetry.NewVirtualClock
+	// LatencyBuckets is the default histogram bucketing for latencies.
+	LatencyBuckets = telemetry.LatencyBuckets
+	// CheckPoliciesMetered is CheckPolicies with verifier telemetry.
+	CheckPoliciesMetered = verify.CheckMetered
 )
 
 // Evaluation scenarios (the paper's Table 1 networks).

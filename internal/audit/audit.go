@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"heimdall/internal/telemetry"
 )
 
 // Kind classifies an audit entry.
@@ -62,6 +64,7 @@ type Trail struct {
 	key     []byte
 	entries []Entry
 	now     func() time.Time
+	meter   telemetry.Meter
 }
 
 // NewTrail creates a trail authenticated with the given HMAC key. The key
@@ -71,7 +74,7 @@ type Trail struct {
 func NewTrail(key []byte) *Trail {
 	k := make([]byte, len(key))
 	copy(k, key)
-	return &Trail{key: k, now: time.Now}
+	return &Trail{key: k, now: time.Now, meter: telemetry.Nop()}
 }
 
 // SetClock replaces the time source (tests and deterministic replays).
@@ -79,6 +82,16 @@ func (t *Trail) SetClock(now func() time.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.now = now
+}
+
+// SetMeter wires audit metrics (entries appended by kind, chain length).
+func (t *Trail) SetMeter(m telemetry.Meter) {
+	if m == nil {
+		m = telemetry.Nop()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meter = m
 }
 
 // Append adds an entry to the chain, filling in index, time, hashes and
@@ -104,6 +117,8 @@ func (t *Trail) Append(ticket, technician string, kind Kind, detail string, allo
 	mac.Write(sum[:])
 	e.MAC = hex.EncodeToString(mac.Sum(nil))
 	t.entries = append(t.entries, e)
+	t.meter.Counter("heimdall_audit_entries_total", telemetry.L("kind", string(kind))).Inc()
+	t.meter.Gauge("heimdall_audit_chain_length").Set(float64(len(t.entries)))
 	return e
 }
 

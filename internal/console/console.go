@@ -34,6 +34,7 @@ import (
 
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
 )
 
 // Command is one parsed console command with its privilege classification.
@@ -58,6 +59,9 @@ type Env struct {
 	Snapshot func() *dataplane.Snapshot
 	// Invalidate marks the snapshot stale after a write.
 	Invalidate func()
+	// Meter, when set, counts dispatched commands
+	// (heimdall_console_dispatch_total by action and write class).
+	Meter telemetry.Meter
 }
 
 // Console parses and executes commands against one device.
@@ -86,6 +90,14 @@ func (c *Console) Run(line string) (string, error) {
 
 // Execute runs a previously parsed command.
 func (c *Console) Execute(cmd Command) (string, error) {
+	if m := c.env.Meter; m != nil {
+		write := "read"
+		if cmd.Write {
+			write = "write"
+		}
+		m.Counter("heimdall_console_dispatch_total",
+			telemetry.L("action", cmd.Action), telemetry.L("write", write)).Inc()
+	}
 	out, err := cmd.exec(c.env)
 	if err != nil {
 		return "", err

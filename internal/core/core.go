@@ -22,6 +22,7 @@ import (
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
 	"heimdall/internal/spec"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/twin"
 	"heimdall/internal/verify"
@@ -46,6 +47,10 @@ type Options struct {
 	// SliceStrategySet marks SliceStrategy as explicitly chosen (the zero
 	// value is the All strategy, which is a valid choice).
 	SliceStrategySet bool
+	// Meter receives telemetry from the whole mediation path (reference
+	// monitor, enforcer, verifier, audit trail). Nil means the no-op meter:
+	// zero-config deployments pay nothing.
+	Meter telemetry.Meter
 }
 
 // System is one customer deployment: production network, policies,
@@ -55,6 +60,7 @@ type System struct {
 	policies   []verify.Policy
 	sensitive  map[string]bool
 	strategy   twin.SliceStrategy
+	meter      telemetry.Meter
 
 	Tickets  *ticket.System
 	Enforcer *enforcer.Enforcer
@@ -92,17 +98,28 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.SliceStrategySet {
 		strategy = opts.SliceStrategy
 	}
+	meter := opts.Meter
+	if meter == nil {
+		meter = telemetry.Nop()
+	}
 	encl := platform.Load("heimdall-enforcer-v1")
+	enf := enforcer.New(encl, policies)
+	enf.SetMeter(meter)
 	return &System{
 		production: opts.Network,
 		policies:   policies,
 		sensitive:  opts.Sensitive,
 		strategy:   strategy,
+		meter:      meter,
 		Tickets:    ticket.NewSystem(),
-		Enforcer:   enforcer.New(encl, policies),
+		Enforcer:   enf,
 		platform:   platform,
 	}, nil
 }
+
+// Meter returns the deployment's telemetry meter (the no-op meter when
+// none was configured).
+func (s *System) Meter() telemetry.Meter { return s.meter }
 
 // Production exposes the production network (the admin's view; MSP
 // technicians never touch it directly).
@@ -176,6 +193,7 @@ func (s *System) StartWork(ticketID, technician string) (*Engagement, error) {
 		Spec:       pspec,
 		Slice:      slice,
 		Trail:      s.Enforcer.Trail(),
+		Meter:      s.meter,
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/twin"
 	"heimdall/internal/verify"
@@ -311,5 +312,98 @@ func TestVerifyCheckCount(t *testing.T) {
 	res := verify.Check(scen.Snapshot(), scen.Policies)
 	if res.Checked != 21 || !res.OK() {
 		t.Fatalf("baseline check = %+v", res)
+	}
+}
+
+// TestWorkflowTelemetry wires a metrics registry through Options.Meter and
+// checks that one end-to-end workflow lights up every layer of the
+// mediation path: reference monitor, enforcer, verifier and audit trail.
+func TestWorkflowTelemetry(t *testing.T) {
+	scen := scenarios.Enterprise()
+	issueName := "vlan"
+	var issue scenarios.Issue
+	for _, is := range scen.Issues {
+		if is.Name == issueName {
+			issue = is
+		}
+	}
+	prod := scen.Network.Clone()
+	if err := issue.Fault.Inject(prod); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sys, err := NewSystem(Options{
+		Network:      prod,
+		Policies:     scen.Policies,
+		Sensitive:    scen.Sensitive,
+		PlatformSeed: "core-test",
+		Meter:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Meter() != telemetry.Meter(reg) {
+		t.Fatal("System.Meter() should return the configured meter")
+	}
+	tk := fileIssue(sys, issue)
+	eng, err := sys.StartWork(tk.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunScript(issue.Script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference monitor: every script command was mediated and allowed.
+	if got := reg.CounterValue("heimdall_monitor_commands_total"); got != float64(len(issue.Script)) {
+		t.Errorf("commands_total = %v, want %d", got, len(issue.Script))
+	}
+	if got := reg.HistogramCount("heimdall_monitor_mediation_seconds"); got != uint64(len(issue.Script)) {
+		t.Errorf("mediation_seconds count = %v, want %d", got, len(issue.Script))
+	}
+	// Enforcer: one accepted review and commit, changes applied, no
+	// rollback.
+	if got := reg.CounterValue("heimdall_enforcer_reviews_total", telemetry.L("accepted", "true")); got != 1 {
+		t.Errorf("accepted reviews = %v, want 1", got)
+	}
+	if got := reg.CounterValue("heimdall_enforcer_commits_total", telemetry.L("accepted", "true")); got != 1 {
+		t.Errorf("accepted commits = %v, want 1", got)
+	}
+	if got := reg.CounterValue("heimdall_enforcer_changes_applied_total"); got == 0 {
+		t.Error("changes_applied_total = 0, want > 0")
+	}
+	if got := reg.CounterValue("heimdall_enforcer_rollbacks_total"); got != 0 {
+		t.Errorf("rollbacks_total = %v, want 0", got)
+	}
+	// Verifier: the review check plus the post-apply check.
+	if got := reg.CounterValue("heimdall_verify_runs_total"); got != 2 {
+		t.Errorf("verify_runs_total = %v, want 2", got)
+	}
+	if got := reg.CounterValue("heimdall_verify_policies_checked_total"); got == 0 {
+		t.Error("policies_checked_total = 0, want > 0")
+	}
+	if got := reg.CounterValue("heimdall_verify_counterexamples_total"); got != 0 {
+		t.Errorf("counterexamples_total = %v, want 0", got)
+	}
+	// Audit: the chain-length gauge tracks the trail.
+	if got := reg.GaugeValue("heimdall_audit_chain_length"); got != float64(sys.Enforcer.Trail().Len()) {
+		t.Errorf("audit_chain_length = %v, want %d", got, sys.Enforcer.Trail().Len())
+	}
+	if got := reg.CounterValue("heimdall_audit_entries_total", telemetry.L("kind", "command")); got == 0 {
+		t.Error("audit command entries = 0, want > 0")
+	}
+	// The dump is a valid Prometheus exposition with the headline series.
+	dump := reg.Dump()
+	for _, want := range []string{
+		"# TYPE heimdall_monitor_commands_total counter",
+		"# TYPE heimdall_monitor_mediation_seconds histogram",
+		"heimdall_audit_chain_length",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"heimdall/internal/audit"
 	"heimdall/internal/config"
@@ -25,6 +26,7 @@ import (
 	"heimdall/internal/enclave"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/verify"
 )
 
@@ -37,6 +39,7 @@ type Enforcer struct {
 	encl     *enclave.Enclave
 	trail    *audit.Trail
 	policies []verify.Policy
+	meter    telemetry.Meter
 	commitMu sync.Mutex
 	// Incremental restricts verification to policies whose traffic could
 	// be affected by the changed devices (plus all isolation policies).
@@ -54,7 +57,18 @@ func New(encl *enclave.Enclave, policies []verify.Policy) *Enforcer {
 		encl:     encl,
 		trail:    audit.NewTrail(encl.DeriveKey("audit-trail")),
 		policies: policies,
+		meter:    telemetry.Nop(),
 	}
+}
+
+// SetMeter wires enforcer telemetry (reviews, verify latency, changes
+// applied, rollbacks) and propagates the meter to the audit trail.
+func (e *Enforcer) SetMeter(m telemetry.Meter) {
+	if m == nil {
+		m = telemetry.Nop()
+	}
+	e.meter = m
+	e.trail.SetMeter(m)
 }
 
 // Trail returns the enforcer's audit trail.
@@ -118,6 +132,7 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	if len(d.Unauthorized) > 0 {
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
 			fmt.Sprintf("review rejected: %d unauthorized changes", len(d.Unauthorized)), false)
+		e.countReview(false)
 		return d
 	}
 
@@ -129,6 +144,7 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 		})
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
 			"review rejected: changes do not apply", false)
+		e.countReview(false)
 		return d
 	}
 	policies := e.policies
@@ -143,14 +159,24 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	if e.ReportDeltas {
 		d.Deltas = verify.DiffReachability(dataplane.Compute(prod), shadowSnap, shadow, nil)
 	}
-	res := verify.Check(shadowSnap, policies)
+	verifyStart := time.Now()
+	res := verify.CheckMetered(shadowSnap, policies, e.meter)
+	e.meter.Histogram("heimdall_enforcer_verify_seconds", telemetry.LatencyBuckets).
+		ObserveDuration(time.Since(verifyStart))
 	d.Checked = res.Checked
 	d.Violations = append(d.Violations, res.Violations...)
 	d.Accepted = len(d.Violations) == 0
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
 		fmt.Sprintf("review: %d changes, %d policies checked, %d violations",
 			len(changes), d.Checked, len(d.Violations)), d.Accepted)
+	e.countReview(d.Accepted)
 	return d
+}
+
+// countReview records one review outcome.
+func (e *Enforcer) countReview(accepted bool) {
+	e.meter.Counter("heimdall_enforcer_reviews_total",
+		telemetry.L("accepted", fmt.Sprintf("%t", accepted))).Inc()
 }
 
 // schedulePhase orders ops within the additive/subtractive phases so that
@@ -215,6 +241,7 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 	defer e.commitMu.Unlock()
 	d := e.Review(prod, changes, spec)
 	if !d.Accepted {
+		e.countCommit(false)
 		return d, fmt.Errorf("enforcer: change set rejected: %s", d.Reason())
 	}
 	ordered := Schedule(changes)
@@ -222,20 +249,30 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 	for _, c := range ordered {
 		if err := config.ApplyChange(prod.Devices[c.Device], c); err != nil {
 			e.rollback(prod, backup, spec, fmt.Sprintf("apply failed: %v", err))
+			e.countCommit(false)
 			return d, fmt.Errorf("enforcer: applying %s: %w (rolled back)", c, err)
 		}
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, c.String(), true)
+		e.meter.Counter("heimdall_enforcer_changes_applied_total").Inc()
 	}
-	post := verify.Check(dataplane.Compute(prod), e.policies)
+	post := verify.CheckMetered(dataplane.Compute(prod), e.policies, e.meter)
 	if !post.OK() {
 		e.rollback(prod, backup, spec, fmt.Sprintf("post-apply verification failed: %d violations", len(post.Violations)))
 		d.Accepted = false
 		d.Violations = post.Violations
+		e.countCommit(false)
 		return d, fmt.Errorf("enforcer: post-apply verification failed (rolled back)")
 	}
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindSession,
 		fmt.Sprintf("committed %d changes to production", len(ordered)), true)
+	e.countCommit(true)
 	return d, nil
+}
+
+// countCommit records one commit outcome.
+func (e *Enforcer) countCommit(accepted bool) {
+	e.meter.Counter("heimdall_enforcer_commits_total",
+		telemetry.L("accepted", fmt.Sprintf("%t", accepted))).Inc()
 }
 
 // rollback restores production from the backup snapshot.
@@ -243,4 +280,5 @@ func (e *Enforcer) rollback(prod, backup *netmodel.Network, spec *privilege.Spec
 	prod.Devices = backup.Devices
 	prod.Links = backup.Links
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, "ROLLBACK: "+why, false)
+	e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
 }

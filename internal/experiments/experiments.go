@@ -23,6 +23,7 @@ import (
 	"heimdall/internal/latency"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/verify"
 )
@@ -61,6 +62,11 @@ type Figure7Run struct {
 	Issue    string
 	Current  *latency.Breakdown
 	Heimdall *latency.Breakdown
+	// TicketID and Technician identify the Heimdall run's workflow, so the
+	// exported spans line up with the audit trail's ticket/technician
+	// columns.
+	TicketID   string
+	Technician string
 	// Measured workflow facts feeding the model.
 	Commands        int
 	SliceDevices    int
@@ -157,6 +163,8 @@ func runIssue(scen *scenarios.Scenario, issue scenarios.Issue, model latency.Mod
 	}
 	run := &Figure7Run{
 		Issue:           issue.Name,
+		TicketID:        tk.ID,
+		Technician:      "pilot",
 		Commands:        len(issue.Script),
 		SliceDevices:    len(eng.Twin.VisibleDevices()),
 		SliceSwitches:   switches,
@@ -199,6 +207,38 @@ func FormatFigure7(runs []Figure7Run) string {
 			(total / time.Duration(len(runs))).Seconds())
 	}
 	return b.String()
+}
+
+// TraceFigure7 replays the pilot-study latency breakdowns as spans on a
+// deterministic virtual clock: each run becomes one root span per approach
+// ("current <issue>" / "heimdall <issue>") carrying ticket and technician
+// attributes that match the audit trail, with one child span per modeled
+// step (connect, twin-setup, operate, verify, ...). The virtual clock
+// advances by exactly each step's modeled duration, so every root span's
+// duration equals its Breakdown.Total() and the JSONL export reconciles
+// with Figure 7.
+func TraceFigure7(runs []Figure7Run, start time.Time) *telemetry.Tracer {
+	clock := telemetry.NewVirtualClock(start)
+	tr := telemetry.NewTracer(clock.Now)
+	for _, run := range runs {
+		for _, bd := range []*latency.Breakdown{run.Current, run.Heimdall} {
+			if bd == nil {
+				continue
+			}
+			root := tr.StartTrace(strings.ToLower(bd.Approach)+" "+bd.Issue,
+				telemetry.L("approach", strings.ToLower(bd.Approach)),
+				telemetry.L("issue", bd.Issue),
+				telemetry.L("ticket", run.TicketID),
+				telemetry.L("technician", run.Technician))
+			for _, step := range bd.Steps {
+				child := root.StartChild(step.Name)
+				clock.Advance(step.Duration)
+				child.Finish()
+			}
+			root.Finish()
+		}
+	}
+	return tr
 }
 
 // Figure89 runs the feasibility / attack-surface sweep on a scenario

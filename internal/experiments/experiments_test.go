@@ -7,6 +7,7 @@ import (
 
 	"heimdall/internal/latency"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
 )
 
 func TestTable1MatchesPaperShape(t *testing.T) {
@@ -102,5 +103,91 @@ func TestMeasureVerifyCost(t *testing.T) {
 	// Modeled wall time reproduces the paper's ~25 s for 175 constraints.
 	if res.ModeledWall < 20*time.Second || res.ModeledWall > 30*time.Second {
 		t.Fatalf("modeled wall = %v, want ≈25s", res.ModeledWall)
+	}
+}
+
+// TestTraceFigure7Reconciles fabricates pilot-study runs from the default
+// latency model and checks that the exported spans reconcile exactly with
+// the Figure 7 breakdowns: one root span per approach whose duration is
+// the breakdown total, with one child per modeled step.
+func TestTraceFigure7Reconciles(t *testing.T) {
+	model := latency.Default()
+	runs := []Figure7Run{
+		{
+			Issue:      "vlan",
+			TicketID:   "T-0001",
+			Technician: "pilot",
+			Current:    model.Current("vlan", 6),
+			Heimdall:   model.Heimdall("vlan", 6, 5, 2, 21, 3),
+		},
+		{
+			Issue:      "ospf",
+			TicketID:   "T-0001",
+			Technician: "pilot",
+			Current:    model.Current("ospf", 4),
+			Heimdall:   model.Heimdall("ospf", 4, 4, 0, 21, 1),
+		},
+	}
+	start := time.Date(2021, time.November, 1, 0, 0, 0, 0, time.UTC)
+	tr := TraceFigure7(runs, start)
+	spans := tr.Finished()
+
+	wantSpans := 0
+	for _, r := range runs {
+		wantSpans += 2 // two root spans
+		wantSpans += len(r.Current.Steps) + len(r.Heimdall.Steps)
+	}
+	if len(spans) != wantSpans {
+		t.Fatalf("got %d spans, want %d", len(spans), wantSpans)
+	}
+
+	roots := map[string]*telemetry.Span{}
+	children := map[string][]*telemetry.Span{}
+	for _, s := range spans {
+		if s.ParentID == "" {
+			roots[s.Name] = s
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	for _, r := range runs {
+		for _, bd := range []*latency.Breakdown{r.Current, r.Heimdall} {
+			name := strings.ToLower(bd.Approach) + " " + bd.Issue
+			root := roots[name]
+			if root == nil {
+				t.Fatalf("no root span %q", name)
+			}
+			if got := root.Duration(); got != bd.Total() {
+				t.Errorf("%s: root duration %s, want breakdown total %s", name, got, bd.Total())
+			}
+			if root.Attrs["ticket"] != r.TicketID || root.Attrs["technician"] != r.Technician {
+				t.Errorf("%s: attrs = %v", name, root.Attrs)
+			}
+			kids := children[root.SpanID]
+			if len(kids) != len(bd.Steps) {
+				t.Fatalf("%s: %d child spans, want %d steps", name, len(kids), len(bd.Steps))
+			}
+			for i, step := range bd.Steps {
+				if kids[i].Name != step.Name {
+					t.Errorf("%s: child %d = %q, want %q", name, i, kids[i].Name, step.Name)
+				}
+				if got := kids[i].Duration(); got != step.Duration {
+					t.Errorf("%s/%s: duration %s, want %s", name, step.Name, got, step.Duration)
+				}
+			}
+		}
+	}
+
+	// The JSONL export round-trips.
+	var b strings.Builder
+	if err := tr.ExportJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := telemetry.ParseJSONL([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(spans) {
+		t.Fatalf("parsed %d spans, want %d", len(parsed), len(spans))
 	}
 }

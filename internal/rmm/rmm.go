@@ -22,14 +22,19 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"heimdall/internal/console"
 	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
 )
 
 // Backend executes commands for authenticated technicians.
 type Backend interface {
-	// Devices lists the devices the technician may open.
+	// Devices lists the devices the technician may open. The server makes
+	// a defensive copy of the returned slice before handing it to the
+	// protocol layer, so backends may return internal state; callers of a
+	// Backend directly must not mutate the result.
 	Devices(technician string) []string
 	// Exec runs one console command line on a device.
 	Exec(technician, device, line string) (string, error)
@@ -86,6 +91,7 @@ type response struct {
 type Server struct {
 	backend Backend
 	tokens  map[string]string // user -> token
+	meter   telemetry.Meter
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -100,7 +106,18 @@ func NewServer(tokens map[string]string, backend Backend) *Server {
 	for u, tok := range tokens {
 		t[u] = tok
 	}
-	return &Server{backend: backend, tokens: t, conns: make(map[net.Conn]bool)}
+	return &Server{backend: backend, tokens: t, meter: telemetry.Nop(), conns: make(map[net.Conn]bool)}
+}
+
+// SetTelemetry wires a meter into the server (call before Listen). When
+// the meter also implements telemetry.Exposer — a *telemetry.Registry
+// does — authenticated clients can fetch the Prometheus dump with the
+// `metrics` protocol op.
+func (s *Server) SetTelemetry(m telemetry.Meter) {
+	if m == nil {
+		m = telemetry.Nop()
+	}
+	s.meter = m
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and starts serving until Close.
@@ -200,11 +217,20 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// knownOps bounds the cardinality of the per-op request counter.
+var knownOps = map[string]bool{"login": true, "devices": true, "exec": true, "metrics": true}
+
 func (s *Server) dispatch(authedUser *string, req request) response {
+	op := req.Op
+	if !knownOps[op] {
+		op = "unknown"
+	}
+	s.meter.Counter("heimdall_rmm_requests_total", telemetry.L("op", op)).Inc()
 	switch req.Op {
 	case "login":
 		want, ok := s.tokens[req.User]
 		if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(req.Token)) != 1 {
+			s.meter.Counter("heimdall_rmm_auth_failures_total").Inc()
 			return response{Error: "authentication failed"}
 		}
 		*authedUser = req.User
@@ -213,16 +239,33 @@ func (s *Server) dispatch(authedUser *string, req request) response {
 		if *authedUser == "" {
 			return response{Error: "not authenticated"}
 		}
-		return response{OK: true, Devices: s.backend.Devices(*authedUser)}
+		// Defensive copy: the backend may return internal state, and the
+		// protocol layer (or a later server feature) must never be able to
+		// corrupt it through the shared slice.
+		devices := append([]string(nil), s.backend.Devices(*authedUser)...)
+		return response{OK: true, Devices: devices}
 	case "exec":
 		if *authedUser == "" {
 			return response{Error: "not authenticated"}
 		}
+		start := time.Now()
 		out, err := s.backend.Exec(*authedUser, req.Device, req.Line)
+		s.meter.Histogram("heimdall_rmm_exec_seconds", telemetry.LatencyBuckets).
+			ObserveDuration(time.Since(start))
 		if err != nil {
+			s.meter.Counter("heimdall_rmm_exec_errors_total").Inc()
 			return response{Error: err.Error()}
 		}
 		return response{OK: true, Output: out}
+	case "metrics":
+		if *authedUser == "" {
+			return response{Error: "not authenticated"}
+		}
+		exp, ok := s.meter.(telemetry.Exposer)
+		if !ok {
+			return response{Error: "telemetry not enabled on this server"}
+		}
+		return response{OK: true, Output: exp.Dump()}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -290,5 +333,12 @@ func (c *Client) Devices() ([]string, error) {
 // Exec runs one console command on a device.
 func (c *Client) Exec(device, line string) (string, error) {
 	resp, err := c.round(request{Op: "exec", Device: device, Line: line})
+	return resp.Output, err
+}
+
+// Metrics fetches the server's Prometheus text dump (requires a server
+// with an exposing meter wired via SetTelemetry).
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.round(request{Op: "metrics"})
 	return resp.Output, err
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
 )
 
 func prodNet() *netmodel.Network {
@@ -268,5 +269,115 @@ func TestTLSTransport(t *testing.T) {
 			t.Fatal("plaintext login over TLS listener succeeded")
 		}
 		pc.Close()
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+
+	// One failed login, then a full login -> devices -> exec round.
+	bad, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if err := bad.Login("alice", "wrong"); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	if _, err := c.Devices(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("r1", "show ip route"); err != nil {
+		t.Fatal(err)
+	}
+
+	for op, want := range map[string]float64{"login": 2, "devices": 1, "exec": 1} {
+		if got := reg.CounterValue("heimdall_rmm_requests_total", telemetry.L("op", op)); got != want {
+			t.Errorf("requests_total{op=%q} = %v, want %v", op, got, want)
+		}
+	}
+	if got := reg.CounterValue("heimdall_rmm_auth_failures_total"); got != 1 {
+		t.Errorf("auth_failures_total = %v, want 1", got)
+	}
+	if got := reg.HistogramCount("heimdall_rmm_exec_seconds"); got != 1 {
+		t.Errorf("exec_seconds count = %v, want 1", got)
+	}
+
+	// The metrics protocol op returns the Prometheus dump to authed clients.
+	dump, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`heimdall_rmm_requests_total{op="exec"} 1`,
+		"heimdall_rmm_exec_seconds_count 1",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestMetricsOpRequiresTelemetryAndAuth(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Metrics(); err == nil || !strings.Contains(err.Error(), "not authenticated") {
+		t.Fatalf("unauthenticated metrics: %v", err)
+	}
+	if err := c.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+	// The default meter is the no-op meter, which has nothing to dump.
+	if _, err := c.Metrics(); err == nil || !strings.Contains(err.Error(), "telemetry not enabled") {
+		t.Fatalf("metrics without telemetry: %v", err)
+	}
+}
+
+// sharedSliceBackend returns the same underlying slice on every Devices
+// call, modelling a backend that exposes internal state.
+type sharedSliceBackend struct {
+	devices []string
+}
+
+func (b *sharedSliceBackend) Devices(string) []string { return b.devices }
+
+func (b *sharedSliceBackend) Exec(_, device, _ string) (string, error) {
+	return "ok on " + device, nil
+}
+
+func TestDevicesDefensiveCopy(t *testing.T) {
+	backend := &sharedSliceBackend{devices: []string{"r1", "r2", "r3"}}
+	srv := startServer(t, backend)
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	got, err := c.Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned slice must not corrupt backend state: the
+	// server copies before the protocol layer ever sees it.
+	for i := range got {
+		got[i] = "owned"
+	}
+	resp := srv.dispatch(new(string), request{Op: "devices"})
+	if resp.Error != "not authenticated" {
+		t.Fatalf("unexpected dispatch response: %+v", resp)
+	}
+	authed := "alice"
+	resp = srv.dispatch(&authed, request{Op: "devices"})
+	if len(resp.Devices) != 3 || resp.Devices[0] != "r1" || resp.Devices[2] != "r3" {
+		t.Fatalf("backend state corrupted: %v", resp.Devices)
+	}
+	// And the server-side mutation path: corrupting a dispatch result's
+	// slice must not show up in the backend either.
+	resp.Devices[1] = "owned"
+	if backend.devices[1] != "r2" {
+		t.Fatalf("backend slice mutated through response: %v", backend.devices)
 	}
 }

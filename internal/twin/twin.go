@@ -18,6 +18,8 @@ package twin
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"heimdall/internal/audit"
 	"heimdall/internal/config"
@@ -25,6 +27,7 @@ import (
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
+	"heimdall/internal/telemetry"
 )
 
 // Config assembles a twin network for one ticket.
@@ -41,6 +44,10 @@ type Config struct {
 	Slice map[string]bool
 	// Trail receives reference-monitor decisions; nil disables auditing.
 	Trail *audit.Trail
+	// Meter receives reference-monitor metrics (commands mediated,
+	// allow/deny decisions per action class, mediation latency); nil
+	// means the no-op meter.
+	Meter telemetry.Meter
 }
 
 // Twin is one instantiated twin network.
@@ -53,6 +60,7 @@ type Twin struct {
 	slice      map[string]bool   // nil means every device is visible
 	env        *console.Env
 	trail      *audit.Trail
+	meter      telemetry.Meter
 }
 
 // New builds the twin: the emulation layer is a sanitized deep copy of
@@ -69,6 +77,10 @@ func New(cfg Config) (*Twin, error) {
 	for name, d := range sanitized.Devices {
 		sanitized.Devices[name] = config.Sanitize(d)
 	}
+	meter := cfg.Meter
+	if meter == nil {
+		meter = telemetry.Nop()
+	}
 	tw := &Twin{
 		ticket:     cfg.Ticket,
 		technician: cfg.Technician,
@@ -77,8 +89,12 @@ func New(cfg Config) (*Twin, error) {
 		emul:       sanitized.Clone(),
 		slice:      cfg.Slice,
 		trail:      cfg.Trail,
+		meter:      meter,
 	}
 	tw.env = console.NewEnv(tw.emul)
+	if cfg.Meter != nil {
+		tw.env.Meter = cfg.Meter
+	}
 	tw.log(audit.KindSession, fmt.Sprintf("twin created (%d devices, %d visible)",
 		len(tw.emul.Devices), len(tw.VisibleDevices())), true)
 	return tw, nil
@@ -142,10 +158,27 @@ type Session struct {
 func (tw *Twin) OpenConsole(device string) (*Session, error) {
 	if !tw.Visible(device) {
 		tw.log(audit.KindDecision, fmt.Sprintf("deny console on %s (outside slice)", device), false)
+		tw.decision("deny", "session")
 		return nil, fmt.Errorf("twin: no such device %q", device)
 	}
 	tw.log(audit.KindSession, "console opened on "+device, true)
+	tw.decision("allow", "session")
 	return &Session{twin: tw, con: console.New(device, tw.env)}, nil
+}
+
+// decision counts one reference-monitor verdict by action class.
+func (tw *Twin) decision(verdict, class string) {
+	tw.meter.Counter("heimdall_monitor_decisions_total",
+		telemetry.L("decision", verdict), telemetry.L("class", class)).Inc()
+}
+
+// actionClass maps a console action ("config.interface.set") to its
+// class ("config") to bound decision-counter cardinality.
+func actionClass(action string) string {
+	if i := strings.IndexByte(action, '.'); i > 0 {
+		return action[:i]
+	}
+	return action
 }
 
 // Device returns the session's device name.
@@ -167,21 +200,37 @@ func (e *ErrDenied) Error() string {
 // privilege check, audit, then execute in the emulation layer.
 func (s *Session) Exec(line string) (string, error) {
 	tw := s.twin
+	start := time.Now()
+	tw.meter.Counter("heimdall_monitor_commands_total").Inc()
 	cmd, err := s.con.Parse(line)
 	if err != nil {
 		tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s (parse error)", s.Device(), line), false)
+		tw.decision("deny", "parse-error")
 		return "", err
 	}
 	tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s", s.Device(), line), true)
 	if !tw.spec.Allows(cmd.Action, cmd.Resource) {
 		tw.log(audit.KindDecision, fmt.Sprintf("deny %s on %s", cmd.Action, cmd.Resource), false)
+		tw.decision("deny", actionClass(cmd.Action))
+		tw.observeMediation(start)
 		return "", &ErrDenied{Action: cmd.Action, Resource: cmd.Resource}
 	}
 	tw.log(audit.KindDecision, fmt.Sprintf("allow %s on %s", cmd.Action, cmd.Resource), true)
+	tw.decision("allow", actionClass(cmd.Action))
+	// Mediation latency is the monitor's own cost: parse + privilege
+	// check + audit, before the command touches the emulation layer.
+	tw.observeMediation(start)
 	out, err := s.con.Execute(cmd)
+	tw.meter.Histogram("heimdall_monitor_exec_seconds", telemetry.LatencyBuckets).
+		ObserveDuration(time.Since(start))
 	if err != nil {
 		tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s failed: %v", s.Device(), line, err), true)
 		return "", err
 	}
 	return out, nil
+}
+
+func (tw *Twin) observeMediation(start time.Time) {
+	tw.meter.Histogram("heimdall_monitor_mediation_seconds", telemetry.LatencyBuckets).
+		ObserveDuration(time.Since(start))
 }

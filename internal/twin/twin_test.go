@@ -11,6 +11,7 @@ import (
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
+	"heimdall/internal/telemetry"
 )
 
 // prodNet: h1 - r1 - r2 - r3 - h2 with an extra stub router r4 and a
@@ -313,4 +314,61 @@ func keys(m map[string]bool) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+func TestTwinMetrics(t *testing.T) {
+	spec := &privilege.Spec{Ticket: "T1", Technician: "alice", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "show.*", Resource: "device:*"},
+	}}
+	reg := telemetry.NewRegistry()
+	tw, err := New(Config{Ticket: "T1", Technician: "alice", Production: prodNet(),
+		Spec: spec, Meter: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tw.OpenConsole("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("show ip route"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("show interfaces"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("interface Gi0/1 shutdown"); err == nil {
+		t.Fatal("config command should be denied")
+	}
+	if _, err := sess.Exec("not a command"); err == nil {
+		t.Fatal("unparseable command should fail")
+	}
+
+	if got := reg.CounterValue("heimdall_monitor_commands_total"); got != 4 {
+		t.Errorf("commands_total = %v, want 4", got)
+	}
+	if got := reg.CounterValue("heimdall_monitor_decisions_total",
+		telemetry.L("decision", "allow"), telemetry.L("class", "show")); got != 2 {
+		t.Errorf("allow show decisions = %v, want 2", got)
+	}
+	if got := reg.CounterValue("heimdall_monitor_decisions_total",
+		telemetry.L("decision", "deny"), telemetry.L("class", "config")); got != 1 {
+		t.Errorf("deny config decisions = %v, want 1", got)
+	}
+	if got := reg.CounterValue("heimdall_monitor_decisions_total",
+		telemetry.L("decision", "deny"), telemetry.L("class", "parse-error")); got != 1 {
+		t.Errorf("deny parse-error decisions = %v, want 1", got)
+	}
+	// Mediation latency is observed for every checked command (allow and
+	// deny); exec latency only for allowed ones.
+	if got := reg.HistogramCount("heimdall_monitor_mediation_seconds"); got != 3 {
+		t.Errorf("mediation_seconds count = %v, want 3", got)
+	}
+	if got := reg.HistogramCount("heimdall_monitor_exec_seconds"); got != 2 {
+		t.Errorf("exec_seconds count = %v, want 2", got)
+	}
+	// Console dispatch counts the allowed commands by action.
+	if got := reg.CounterValue("heimdall_console_dispatch_total",
+		telemetry.L("action", "show.ip.route"), telemetry.L("write", "read")); got != 1 {
+		t.Errorf("console dispatch show.ip.route = %v, want 1", got)
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
 )
 
 // Kind classifies a network policy.
@@ -164,6 +165,13 @@ func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
 // Check evaluates every policy against the snapshot.
 func Check(s *dataplane.Snapshot, policies []Policy) *Result {
+	return CheckMetered(s, policies, nil)
+}
+
+// CheckMetered is Check with verifier telemetry: policies checked,
+// counterexamples found, runs, and per-run latency land on the meter
+// (nil means no instrumentation — the zero-config path stays free).
+func CheckMetered(s *dataplane.Snapshot, policies []Policy, m telemetry.Meter) *Result {
 	start := time.Now()
 	res := &Result{Checked: len(policies)}
 	for _, p := range policies {
@@ -172,6 +180,13 @@ func Check(s *dataplane.Snapshot, policies []Policy) *Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if m != nil {
+		m.Counter("heimdall_verify_runs_total").Inc()
+		m.Counter("heimdall_verify_policies_checked_total").Add(float64(res.Checked))
+		m.Counter("heimdall_verify_counterexamples_total").Add(float64(len(res.Violations)))
+		m.Histogram("heimdall_verify_run_seconds", telemetry.LatencyBuckets).
+			ObserveDuration(res.Elapsed)
+	}
 	return res
 }
 
