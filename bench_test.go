@@ -11,6 +11,7 @@ package heimdall
 import (
 	"net/netip"
 	"os"
+	"runtime"
 	"testing"
 
 	"heimdall/internal/attacksurface"
@@ -72,10 +73,10 @@ func BenchmarkFigure7(b *testing.B) {
 	b.ReportMetric(total/float64(len(runs)), "mean-overhead-s")
 }
 
-func benchFigure89(b *testing.B, scen *scenarios.Scenario, budget int) {
+func benchFigure89(b *testing.B, scen *scenarios.Scenario, budget, workers int) {
 	var results []*attacksurface.Result
 	for i := 0; i < b.N; i++ {
-		results = experiments.Figure89(scen, budget)
+		results = experiments.Figure89(scen, budget, workers)
 	}
 	for _, r := range results {
 		b.ReportMetric(r.Feasibility()*100, r.Technique+"-feasibility-pct")
@@ -84,13 +85,20 @@ func benchFigure89(b *testing.B, scen *scenarios.Scenario, budget int) {
 }
 
 // BenchmarkFigure8 runs the enterprise feasibility/attack-surface sweep
-// with the full mutation search.
-func BenchmarkFigure8(b *testing.B) { benchFigure89(b, scenarios.Enterprise(), 0) }
+// with the full mutation search, serially.
+func BenchmarkFigure8(b *testing.B) { benchFigure89(b, scenarios.Enterprise(), 0, 1) }
 
-// BenchmarkFigure9 runs the university sweep. The mutation search is
-// bounded by default (see figure9Budget); EXPERIMENTS.md records the
-// full-search results.
-func BenchmarkFigure9(b *testing.B) { benchFigure89(b, scenarios.University(), figure9Budget()) }
+// BenchmarkFigure9 runs the university sweep serially. The mutation
+// search is bounded by default (see figure9Budget); EXPERIMENTS.md
+// records the full-search results.
+func BenchmarkFigure9(b *testing.B) { benchFigure89(b, scenarios.University(), figure9Budget(), 1) }
+
+// BenchmarkFigure9Parallel is BenchmarkFigure9 with the worker pool at
+// GOMAXPROCS — the delta against BenchmarkFigure9 is the parallel
+// speedup (results are byte-identical; see TestParallelEquivalence).
+func BenchmarkFigure9Parallel(b *testing.B) {
+	benchFigure89(b, scenarios.University(), figure9Budget(), runtime.GOMAXPROCS(0))
+}
 
 // BenchmarkVerifyCost measures real verification throughput on the
 // university policy set — the §4.3 anchor (the paper's prototype needed
@@ -272,6 +280,46 @@ func BenchmarkMonitorOverheadInstrumented(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFlowCache measures the snapshot flow cache on the university
+// network: "trace" is the uncached per-flow trace cost (TraceFrom, the
+// cache's miss path minus map bookkeeping), "memoized" the hit path, and
+// "verify-warm" a full 175-policy verification once the cache is warm —
+// the cost AffectedBy and repeated Check calls pay per policy after the
+// first pass.
+func BenchmarkFlowCache(b *testing.B) {
+	scen := scenarios.University()
+	snap := scen.Snapshot()
+	hosts := scen.Network.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+
+	b.Run("trace", func(b *testing.B) {
+		a1, _ := scen.Network.HostAddr(src)
+		a2, _ := scen.Network.HostAddr(dst)
+		f := dataplane.Flow{Proto: netmodel.ICMP, Src: a1, Dst: a2}
+		for i := 0; i < b.N; i++ {
+			snap.TraceFrom(src, f)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Reach(src, dst, netmodel.ICMP, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, misses := snap.FlowCacheStats()
+		b.ReportMetric(float64(hits), "hits")
+		b.ReportMetric(float64(misses), "misses")
+	})
+	b.Run("verify-warm", func(b *testing.B) {
+		warm := scen.Snapshot()
+		verify.Check(warm, scen.Policies)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			verify.Check(warm, scen.Policies)
+		}
+	})
 }
 
 // BenchmarkSnapshotCompute measures dataplane computation on both

@@ -8,7 +8,9 @@
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
-// full search used for the recorded results). With -telemetry, -fig7 also
+// full search used for the recorded results) and -workers to parallelize
+// the sweep (defaults to GOMAXPROCS; results are identical at any worker
+// count). With -telemetry, -fig7 also
 // exports the pilot-study runs as span JSONL (one span per modeled
 // workflow step, on a deterministic virtual clock) to the -spans file.
 package main
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"heimdall/internal/experiments"
@@ -35,6 +38,7 @@ func main() {
 		verifyCost = flag.Bool("verifycost", false, "measure the verification-cost anchor")
 		all        = flag.Bool("all", false, "run every experiment")
 		budget     = flag.Int("budget", 0, "mutation budget per sample for fig8/fig9 (0 = full search)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the fig8/fig9 sweep (1 = serial; results identical)")
 		telem      = flag.Bool("telemetry", false, "with -fig7: export pilot-study spans as JSONL")
 		spansPath  = flag.String("spans", "fig7_spans.jsonl", "span JSONL output path for -telemetry")
 	)
@@ -79,13 +83,13 @@ func main() {
 	}
 	if *all || *fig8 {
 		timed("fig8", func() {
-			results := experiments.Figure89(scenarios.Enterprise(), *budget)
+			results := experiments.Figure89(scenarios.Enterprise(), *budget, *workers)
 			fmt.Print(experiments.FormatFigure89("Figure 8 (enterprise)", results))
 		})
 	}
 	if *all || *fig9 {
 		timed("fig9", func() {
-			results := experiments.Figure89(scenarios.University(), *budget)
+			results := experiments.Figure89(scenarios.University(), *budget, *workers)
 			fmt.Print(experiments.FormatFigure89("Figure 9 (university)", results))
 		})
 	}

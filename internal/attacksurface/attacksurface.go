@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"heimdall/internal/console"
 	"heimdall/internal/dataplane"
@@ -102,7 +103,7 @@ func (r *Result) MeanSurface() float64 {
 // String renders the figure row.
 func (r *Result) String() string {
 	return fmt.Sprintf("%-9s feasibility=%5.1f%%  attack_surface=%5.1f%%  (n=%d)",
-		r.Technique, r.Feasibility()*100, r.MeanSurface()*1, len(r.Samples))
+		r.Technique, r.Feasibility()*100, r.MeanSurface(), len(r.Samples))
 }
 
 // Evaluator runs the experiment against one network and policy set.
@@ -114,6 +115,12 @@ type Evaluator struct {
 	// sample (0 = unlimited). The figures use the full search; unit tests
 	// shrink it.
 	MutationBudget int
+	// Workers bounds the sweep's parallelism: fault cases fan out across
+	// up to Workers goroutines, and within a case the mutation trials fan
+	// out under the same bound. 0 or 1 runs fully serial. Results are
+	// identical to the serial sweep regardless of Workers — samples merge
+	// in fault-case order and the violation search is order-independent.
+	Workers int
 }
 
 // InterfaceFaults enumerates the experiment's issues: for every up,
@@ -176,7 +183,16 @@ func InterfaceFaults(n *netmodel.Network) []FaultCase {
 	return out
 }
 
-// Evaluate scores one technique across all fault cases.
+// limiter is a counting semaphore bounding concurrent mutation trials.
+type limiter chan struct{}
+
+func (l limiter) acquire() { l <- struct{}{} }
+func (l limiter) release() { <-l }
+
+// Evaluate scores one technique across all fault cases. With Workers > 1
+// the cases run on a bounded worker pool (and mutation trials fan out
+// under the same bound); samples are merged in fault-case order, so the
+// result is identical to the serial sweep.
 func (ev *Evaluator) Evaluate(tech Technique, cases []FaultCase) *Result {
 	res := &Result{Technique: tech.Name}
 	totalAvail := 0
@@ -187,66 +203,119 @@ func (ev *Evaluator) Evaluate(tech Technique, cases []FaultCase) *Result {
 		totalAvail += c
 	}
 
-	for _, fc := range cases {
-		faulted := ev.Base.Clone()
-		if err := fc.Fault.Inject(faulted); err != nil {
-			continue
-		}
-		snap := dataplane.Compute(faulted)
-		slice := twin.ComputeSlice(faulted, snap, tech.Strategy, fc.Src, fc.Dst, nil)
-
-		spec := ev.specFor(tech, faulted, slice)
-		visible := func(dev string) bool { return slice[dev] }
-
-		// ΣC: allowed commands on visible nodes.
-		allowedTotal := 0
-		for dev := range slice {
-			d := faulted.Devices[dev]
-			if d == nil {
-				continue
-			}
-			if tech.FullPrivileges {
-				allowedTotal += availPer[dev]
-				continue
-			}
-			for _, ar := range console.Catalog(d) {
-				if spec.Allows(ar.Action, ar.Resource) {
-					allowedTotal++
-				}
+	workers := ev.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for _, fc := range cases {
+			if sm, ok := ev.evaluateCase(tech, fc, availPer, totalAvail, nil); ok {
+				res.Samples = append(res.Samples, sm)
 			}
 		}
+		return res
+	}
 
-		// Feasibility: root cause visible and fixable.
-		root := fc.Fault.RootCause
-		feasible := visible(root)
-		if feasible && !tech.FullPrivileges {
-			fixRes := fmt.Sprintf("device:%s", root)
-			feasible = spec.Allows("config.interface.set", fixRes) ||
-				anyInterfaceFixAllowed(spec, faulted.Devices[root])
+	// Case fan-out: a pool of Workers goroutines consumes case indices;
+	// each writes its sample into a fixed slot so the merge below
+	// reproduces the serial order exactly. Trials share one semaphore
+	// across all in-flight cases, bounding the expensive clone+recompute
+	// work to Workers at a time.
+	type slot struct {
+		sm Sample
+		ok bool
+	}
+	slots := make([]slot, len(cases))
+	gate := make(limiter, workers)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sm, ok := ev.evaluateCase(tech, cases[i], availPer, totalAvail, gate)
+				slots[i] = slot{sm, ok}
+			}
+		}()
+	}
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, s := range slots {
+		if s.ok {
+			res.Samples = append(res.Samples, s.sm)
 		}
-
-		// VP: policies newly violable through allowed mutations.
-		pre := violatedSet(snap, ev.Policies)
-		vp := ev.potentialViolations(faulted, spec, tech.FullPrivileges, slice, pre)
-
-		exposed := 0.0
-		if totalAvail > 0 {
-			exposed = float64(allowedTotal) / float64(totalAvail)
-		}
-		vr := 0.0
-		if len(ev.Policies) > 0 {
-			vr = float64(vp) / float64(len(ev.Policies))
-		}
-		res.Samples = append(res.Samples, Sample{
-			Fault:          fc.Fault.Name,
-			Feasible:       feasible,
-			Surface:        (exposed*0.5 + vr*0.5) * 100,
-			ExposedRatio:   exposed,
-			ViolationRatio: vr,
-			VisibleNodes:   len(slice),
-		})
 	}
 	return res
+}
+
+// evaluateCase scores one (fault, technique) pair. It reads ev.Base and
+// the precomputed command-surface counts but mutates nothing shared, so
+// any number of cases may run concurrently. A nil gate runs the mutation
+// trials serially.
+func (ev *Evaluator) evaluateCase(tech Technique, fc FaultCase,
+	availPer map[string]int, totalAvail int, gate limiter) (Sample, bool) {
+
+	faulted := ev.Base.Clone()
+	if err := fc.Fault.Inject(faulted); err != nil {
+		return Sample{}, false
+	}
+	snap := dataplane.Compute(faulted)
+	slice := twin.ComputeSlice(faulted, snap, tech.Strategy, fc.Src, fc.Dst, nil)
+
+	spec := ev.specFor(tech, faulted, slice)
+	visible := func(dev string) bool { return slice[dev] }
+
+	// ΣC: allowed commands on visible nodes.
+	allowedTotal := 0
+	for dev := range slice {
+		d := faulted.Devices[dev]
+		if d == nil {
+			continue
+		}
+		if tech.FullPrivileges {
+			allowedTotal += availPer[dev]
+			continue
+		}
+		for _, ar := range console.Catalog(d) {
+			if spec.Allows(ar.Action, ar.Resource) {
+				allowedTotal++
+			}
+		}
+	}
+
+	// Feasibility: root cause visible and fixable.
+	root := fc.Fault.RootCause
+	feasible := visible(root)
+	if feasible && !tech.FullPrivileges {
+		fixRes := fmt.Sprintf("device:%s", root)
+		feasible = spec.Allows("config.interface.set", fixRes) ||
+			anyInterfaceFixAllowed(spec, faulted.Devices[root])
+	}
+
+	// VP: policies newly violable through allowed mutations.
+	pre := violatedSet(snap, ev.Policies)
+	vp := ev.potentialViolations(faulted, snap, spec, tech.FullPrivileges, slice, pre, gate)
+
+	exposed := 0.0
+	if totalAvail > 0 {
+		exposed = float64(allowedTotal) / float64(totalAvail)
+	}
+	vr := 0.0
+	if len(ev.Policies) > 0 {
+		vr = float64(vp) / float64(len(ev.Policies))
+	}
+	return Sample{
+		Fault:          fc.Fault.Name,
+		Feasible:       feasible,
+		Surface:        (exposed*0.5 + vr*0.5) * 100,
+		ExposedRatio:   exposed,
+		ViolationRatio: vr,
+		VisibleNodes:   len(slice),
+	}, true
 }
 
 // specFor builds the technique's privilege specification for a ticket.
@@ -318,6 +387,7 @@ func violatedSet(snap *dataplane.Snapshot, policies []verify.Policy) map[string]
 
 // mutation is one canonical malicious action a technician could attempt.
 type mutation struct {
+	device   string
 	action   string
 	resource string
 	apply    func(n *netmodel.Network)
@@ -325,8 +395,20 @@ type mutation struct {
 
 // potentialViolations searches allowed mutations on visible nodes and
 // returns how many policies become newly violated by at least one of them.
-func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, spec *privilege.Spec,
-	full bool, slice map[string]bool, pre map[string]bool) int {
+//
+// The search is incremental: a mutation on device D can only break
+// policies whose baseline (faulted) traffic traverses D, plus isolation
+// and already-broken flows, which verify.AffectedBy keeps in scope — so
+// each trial rechecks only that subset instead of the whole policy set.
+// Pure-L2 switches are the one exception (their VLAN fabric carries flows
+// whose traces never list them as an L3 hop), so mutations on switches
+// conservatively keep every policy in scope. VP counts are therefore
+// exactly those of the exhaustive recheck. Trials short-circuit once
+// every policy still winnable is already marked violable. A non-nil gate
+// fans the trials out across goroutines; the violation union is
+// order-independent, so the count is identical either way.
+func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot,
+	spec *privilege.Spec, full bool, slice map[string]bool, pre map[string]bool, gate limiter) int {
 
 	// Hijack targets: every host subnet (a /24 route outranks the OSPF
 	// routes protecting it).
@@ -353,31 +435,133 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, spec *privil
 		if d == nil {
 			continue
 		}
-		muts = append(muts, deviceMutations(d, hijacks)...)
+		ms := deviceMutations(d, hijacks)
+		for i := range ms {
+			ms[i].device = dev
+		}
+		muts = append(muts, ms...)
 	}
 
-	violated := make(map[string]bool)
-	evaluated := 0
+	// The mutations actually explored: the first MutationBudget allowed
+	// ones, in deterministic (device, enumeration) order — the same set
+	// the serial search evaluates.
+	var allowed []mutation
 	for _, m := range muts {
-		if ev.MutationBudget > 0 && evaluated >= ev.MutationBudget {
+		if ev.MutationBudget > 0 && len(allowed) >= ev.MutationBudget {
 			break
-		}
-		if len(violated) == len(ev.Policies) {
-			break // everything violable already
 		}
 		if !full && !spec.Allows(m.action, m.resource) {
 			continue
 		}
-		evaluated++
-		trial := faulted.Clone()
-		m.apply(trial)
-		for _, v := range verify.Check(dataplane.Compute(trial), ev.Policies).Violations {
-			if !pre[v.Policy.ID] {
-				violated[v.Policy.ID] = true
-			}
+		allowed = append(allowed, m)
+	}
+
+	// winnable is how many policies a trial could still newly violate:
+	// pre-violated ones never count toward VP.
+	winnable := 0
+	for _, p := range ev.Policies {
+		if !pre[p.ID] {
+			winnable++
 		}
 	}
+	if len(allowed) == 0 || winnable == 0 {
+		return 0
+	}
+
+	// Incremental scope per mutated device (the baseline snapshot's flow
+	// cache makes the second and later AffectedBy calls nearly free).
+	affected := make(map[string][]verify.Policy, len(allowed))
+	for _, m := range allowed {
+		if _, ok := affected[m.device]; ok {
+			continue
+		}
+		if d := faulted.Devices[m.device]; d != nil && d.Kind == netmodel.Switch {
+			affected[m.device] = ev.Policies
+		} else {
+			affected[m.device] = verify.AffectedBy(snap, ev.Policies, map[string]bool{m.device: true})
+		}
+	}
+
+	violated := make(map[string]bool)
+	if gate == nil {
+		for _, m := range allowed {
+			if len(violated) >= winnable {
+				break // every winnable policy is violable already
+			}
+			for _, id := range trialViolations(faulted, m, affected[m.device], pre, violated) {
+				violated[id] = true
+			}
+		}
+		return len(violated)
+	}
+
+	var mu sync.Mutex
+	done := false
+	var wg sync.WaitGroup
+	for _, m := range allowed {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gate.acquire()
+			defer gate.release()
+			mu.Lock()
+			if done {
+				mu.Unlock()
+				return
+			}
+			// Snapshot the IDs already found so the trial skips them —
+			// pure work-saving: re-finding an ID never changes the union.
+			seen := make(map[string]bool, len(violated))
+			for id := range violated {
+				seen[id] = true
+			}
+			mu.Unlock()
+			ids := trialViolations(faulted, m, affected[m.device], pre, seen)
+			if len(ids) == 0 {
+				return
+			}
+			mu.Lock()
+			for _, id := range ids {
+				violated[id] = true
+			}
+			if len(violated) >= winnable {
+				done = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
 	return len(violated)
+}
+
+// trialViolations applies one mutation to a clone of the faulted network
+// and returns the IDs of in-scope policies it newly violates. Policies in
+// pre (already violated before the mutation) or skip (already proven
+// violable by an earlier trial) are not rechecked; when none remain the
+// clone and dataplane recompute are skipped entirely.
+func trialViolations(faulted *netmodel.Network, m mutation, scope []verify.Policy,
+	pre, skip map[string]bool) []string {
+
+	todo := make([]verify.Policy, 0, len(scope))
+	for _, p := range scope {
+		if !pre[p.ID] && !skip[p.ID] {
+			todo = append(todo, p)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	trial := faulted.Clone()
+	m.apply(trial)
+	tsnap := dataplane.Compute(trial)
+	var out []string
+	for _, p := range todo {
+		if verify.CheckPolicy(tsnap, p) != nil {
+			out = append(out, p.ID)
+		}
+	}
+	return out
 }
 
 // deviceMutations enumerates the canonical malicious actions on one device.

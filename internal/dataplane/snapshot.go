@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
 )
 
 // Flow describes the traffic a trace or policy check exercises.
@@ -38,11 +39,17 @@ type Options struct {
 	// 5-tuple (how real routers load-balance) instead of always taking
 	// the first entry. Deterministic per flow either way.
 	FlowHashECMP bool
+	// Meter receives the snapshot's flow-cache hit/miss counters
+	// (heimdall_dataplane_flowcache_{hits,misses}_total). Nil means no
+	// instrumentation; FlowCacheStats works either way.
+	Meter telemetry.Meter
 }
 
 // Snapshot is the computed forwarding state of one network configuration:
 // L2 adjacency, per-device FIBs, and an address index. Snapshots are
-// immutable; recompute one after changing the network.
+// immutable; recompute one after changing the network. Immutability is
+// what makes the per-snapshot flow cache sound: a memoized trace can
+// never go stale within one snapshot's lifetime.
 type Snapshot struct {
 	net      *netmodel.Network
 	adj      adjacency
@@ -52,6 +59,8 @@ type Snapshot struct {
 	opts     Options
 	// owner maps every up interface address to its endpoint.
 	owner map[netip.Addr]netmodel.Endpoint
+	// flows memoizes Reach results (per snapshot, concurrency-safe).
+	flows *flowCache
 }
 
 // Compute builds a snapshot of the network's forwarding behaviour with
@@ -71,6 +80,7 @@ func ComputeWithOptions(n *netmodel.Network, opts Options) *Snapshot {
 		sessions: bgpSessions(n, adj),
 		opts:     opts,
 		owner:    make(map[netip.Addr]netmodel.Endpoint),
+		flows:    newFlowCache(opts.Meter),
 	}
 	for _, dev := range n.DeviceNames() {
 		rib := ribFor(n, dev, adj, ospfRoutes, bgpRoutes)
@@ -334,7 +344,24 @@ func (s *Snapshot) resolve(from netmodel.Endpoint, addr netip.Addr) (netmodel.En
 // Reach traces host-to-host traffic: the flow's source and destination
 // addresses are looked up from the named hosts. It returns the trace and an
 // error when either host is unknown or unaddressed.
+//
+// Results are memoized per (srcHost, dstHost, proto, dstPort) for the
+// snapshot's lifetime, so policy checkers and the attack-surface sweep can
+// re-ask for the same flow without retracing it. Callers share the
+// returned trace and must treat it as read-only (every caller in the tree
+// already does). Reach is safe for concurrent use.
 func (s *Snapshot) Reach(srcHost, dstHost string, proto netmodel.Protocol, dstPort uint16) (*Trace, error) {
+	k := flowKey{src: srcHost, dst: dstHost, proto: proto, dstPort: dstPort}
+	if r, ok := s.flows.lookup(k); ok {
+		return r.tr, r.err
+	}
+	tr, err := s.reach(srcHost, dstHost, proto, dstPort)
+	r := s.flows.store(k, &flowResult{tr: tr, err: err})
+	return r.tr, r.err
+}
+
+// reach is the uncached trace computation behind Reach.
+func (s *Snapshot) reach(srcHost, dstHost string, proto netmodel.Protocol, dstPort uint16) (*Trace, error) {
 	src, ok := s.net.HostAddr(srcHost)
 	if !ok {
 		return nil, fmt.Errorf("dataplane: no such host %q", srcHost)

@@ -147,17 +147,27 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 		e.countReview(false)
 		return d
 	}
+	// Snapshots carry the enforcer's meter so their flow-cache hit/miss
+	// counters land in the same registry as the verifier metrics; the
+	// production snapshot is shared between the incremental policy scope
+	// and the delta report, whose flows largely overlap.
+	snapOpts := dataplane.Options{Meter: e.meter}
+	var prodSnap *dataplane.Snapshot
 	policies := e.policies
 	if e.Incremental {
 		touched := make(map[string]bool)
 		for _, c := range changes {
 			touched[c.Device] = true
 		}
-		policies = verify.AffectedBy(dataplane.Compute(prod), e.policies, touched)
+		prodSnap = dataplane.ComputeWithOptions(prod, snapOpts)
+		policies = verify.AffectedBy(prodSnap, e.policies, touched)
 	}
-	shadowSnap := dataplane.Compute(shadow)
+	shadowSnap := dataplane.ComputeWithOptions(shadow, snapOpts)
 	if e.ReportDeltas {
-		d.Deltas = verify.DiffReachability(dataplane.Compute(prod), shadowSnap, shadow, nil)
+		if prodSnap == nil {
+			prodSnap = dataplane.ComputeWithOptions(prod, snapOpts)
+		}
+		d.Deltas = verify.DiffReachability(prodSnap, shadowSnap, shadow, nil)
 	}
 	verifyStart := time.Now()
 	res := verify.CheckMetered(shadowSnap, policies, e.meter)
@@ -255,7 +265,7 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, c.String(), true)
 		e.meter.Counter("heimdall_enforcer_changes_applied_total").Inc()
 	}
-	post := verify.CheckMetered(dataplane.Compute(prod), e.policies, e.meter)
+	post := verify.CheckMetered(dataplane.ComputeWithOptions(prod, dataplane.Options{Meter: e.meter}), e.policies, e.meter)
 	if !post.OK() {
 		e.rollback(prod, backup, spec, fmt.Sprintf("post-apply verification failed: %d violations", len(post.Violations)))
 		d.Accepted = false

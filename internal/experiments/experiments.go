@@ -242,13 +242,16 @@ func TraceFigure7(runs []Figure7Run, start time.Time) *telemetry.Tracer {
 }
 
 // Figure89 runs the feasibility / attack-surface sweep on a scenario
-// (Figure 8 = enterprise, Figure 9 = university).
-func Figure89(scen *scenarios.Scenario, mutationBudget int) []*attacksurface.Result {
+// (Figure 8 = enterprise, Figure 9 = university). workers bounds the
+// sweep's parallelism (≤ 1 = serial); results are identical at any
+// worker count.
+func Figure89(scen *scenarios.Scenario, mutationBudget, workers int) []*attacksurface.Result {
 	ev := &attacksurface.Evaluator{
 		Base:           scen.Network,
 		Policies:       scen.Policies,
 		Sensitive:      scen.Sensitive,
 		MutationBudget: mutationBudget,
+		Workers:        workers,
 	}
 	cases := attacksurface.InterfaceFaults(scen.Network)
 	return []*attacksurface.Result{

@@ -75,7 +75,7 @@ func TestFigure8ShapeViaExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mutation search is slow")
 	}
-	results := Figure89(scenarios.Enterprise(), 0)
+	results := Figure89(scenarios.Enterprise(), 0, 1)
 	if len(results) != 3 {
 		t.Fatalf("results = %d", len(results))
 	}
