@@ -5,6 +5,7 @@
 //	experiments -fig8          # Figure 8: enterprise trade-off
 //	experiments -fig9          # Figure 9: university trade-off
 //	experiments -verifycost    # §4.3 verification-cost anchor
+//	experiments -chaos N       # N seeded fault schedules vs the pipeline
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
@@ -36,6 +37,8 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "regenerate Figure 8 (enterprise)")
 		fig9       = flag.Bool("fig9", false, "regenerate Figure 9 (university)")
 		verifyCost = flag.Bool("verifycost", false, "measure the verification-cost anchor")
+		chaos      = flag.Int("chaos", 0, "run N seeded fault schedules against the commit pipeline")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "first seed of the -chaos sweep")
 		all        = flag.Bool("all", false, "run every experiment")
 		budget     = flag.Int("budget", 0, "mutation budget per sample for fig8/fig9 (0 = full search)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the fig8/fig9 sweep (1 = serial; results identical)")
@@ -43,7 +46,7 @@ func main() {
 		spansPath  = flag.String("spans", "fig7_spans.jsonl", "span JSONL output path for -telemetry")
 	)
 	flag.Parse()
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *all) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -91,6 +94,19 @@ func main() {
 		timed("fig9", func() {
 			results := experiments.Figure89(scenarios.University(), *budget, *workers)
 			fmt.Print(experiments.FormatFigure89("Figure 9 (university)", results))
+		})
+	}
+	if *all || *chaos > 0 {
+		count := *chaos
+		if count <= 0 {
+			count = 60
+		}
+		timed("chaos", func() {
+			s, err := experiments.Chaos(*chaosSeed, count)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatChaos(s))
 		})
 	}
 	if *all || *verifyCost {

@@ -13,20 +13,32 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"heimdall/internal/console"
 	"heimdall/internal/core"
+	"heimdall/internal/enforcer"
+	"heimdall/internal/faultinject"
 	"heimdall/internal/rmm"
 	"heimdall/internal/scenarios"
 	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/verify"
 )
+
+// pushFlags tunes the enforcer's production-push pipeline for the
+// workflow/metrics subcommands (see docs/ROBUSTNESS.md).
+type pushFlags struct {
+	retries   int
+	backoff   time.Duration
+	faultSeed int64
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,9 +52,14 @@ func main() {
 	issueName := fs.String("issue", "", "issue to run (vlan/ospf/isp for enterprise; acl/ospf/isp for university)")
 	line := fs.String("line", "", "console command for the exec subcommand")
 	addr := fs.String("addr", "127.0.0.1:7777", "listen address for the rmm command")
+	pushRetries := fs.Int("push-retries", 0, "max attempts per production push (0 = pipeline default)")
+	pushBackoff := fs.Duration("push-backoff", 0, "base backoff between push retries (0 = pipeline default)")
+	faultSeed := fs.Int64("fault-seed", 0, "inject a seeded fault schedule into the production push (0 = off)")
+	idleTimeout := fs.Duration("idle-timeout", rmm.DefaultIdleTimeout, "idle connection timeout for the rmm command")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	pf := pushFlags{retries: *pushRetries, backoff: *pushBackoff, faultSeed: *faultSeed}
 
 	scen := loadScenario(*scenName)
 	switch cmd {
@@ -53,15 +70,15 @@ func main() {
 	case "policies":
 		printPolicies(scen)
 	case "workflow":
-		runWorkflow(scen, *issueName, nil)
+		runWorkflow(scen, *issueName, nil, pf)
 	case "metrics":
-		runMetrics(scen, *issueName)
+		runMetrics(scen, *issueName, pf)
 	case "exec":
 		runExec(scen, *device, *line)
 	case "terminal":
 		runTerminal(scen, *device)
 	case "rmm":
-		serveRMM(scen, *addr)
+		serveRMM(scen, *addr, *idleTimeout)
 	default:
 		usage()
 	}
@@ -116,7 +133,7 @@ func printPolicies(scen *scenarios.Scenario) {
 	fmt.Println(string(data))
 }
 
-func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Meter) {
+func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Meter, pf pushFlags) {
 	if issueName == "" {
 		log.Fatal("workflow needs -issue")
 	}
@@ -140,6 +157,17 @@ func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Met
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	sys.Enforcer.Retry = enforcer.RetryPolicy{MaxAttempts: pf.retries, BaseBackoff: pf.backoff}
+	if pf.faultSeed != 0 {
+		plan := faultinject.RandomPlan(pf.faultSeed, scen.Network.RoutersAndSwitches(),
+			[]string{"apply", "restore"})
+		inj := faultinject.New(plan)
+		if meter != nil {
+			inj.SetMeter(meter)
+		}
+		sys.Enforcer.SetInjector(inj)
+		fmt.Printf("fault injection armed: seed %d, %d rules\n", pf.faultSeed, len(plan.Rules))
 	}
 	tk := sys.Tickets.Create(ticket.Ticket{
 		Summary: issue.Fault.Description, Kind: issue.Fault.Kind,
@@ -170,6 +198,22 @@ func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Met
 	}
 	decision, err := eng.Commit()
 	if err != nil {
+		// Under an armed fault schedule a failed push is an outcome, not a
+		// crash: report what the pipeline did and, if rollback itself was
+		// defeated, run recovery.
+		if pf.faultSeed != 0 {
+			fmt.Printf("commit failed under faults: %v\n", err)
+			if q, why := sys.Enforcer.Quarantined(); q {
+				fmt.Printf("production quarantined: %s\n", why)
+				rep, rerr := sys.Enforcer.Recover(scen.Network)
+				if rerr != nil {
+					log.Fatalf("recovery: %v", rerr)
+				}
+				fmt.Printf("recovery: commit %s %s (%d changes)\n", rep.Commit, rep.Action, rep.Changes)
+			}
+			fmt.Printf("commit journal: %d records\n", sys.Enforcer.Journal().Len())
+			return
+		}
 		log.Fatalf("commit refused: %v", err)
 	}
 	fmt.Printf("enforcer: %s (%d policies checked); ticket -> %s\n",
@@ -180,7 +224,7 @@ func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Met
 // runMetrics runs the full mediated workflow for an issue (the scenario's
 // first issue when -issue is omitted) with a telemetry registry wired
 // through the whole mediation path, then prints the Prometheus text dump.
-func runMetrics(scen *scenarios.Scenario, issueName string) {
+func runMetrics(scen *scenarios.Scenario, issueName string, pf pushFlags) {
 	if issueName == "" {
 		if len(scen.Issues) == 0 {
 			log.Fatalf("scenario %s has no issues", scen.Name)
@@ -188,7 +232,7 @@ func runMetrics(scen *scenarios.Scenario, issueName string) {
 		issueName = scen.Issues[0].Name
 	}
 	reg := telemetry.NewRegistry()
-	runWorkflow(scen, issueName, reg)
+	runWorkflow(scen, issueName, reg, pf)
 	fmt.Println("\n# telemetry after the workflow:")
 	fmt.Print(reg.Dump())
 }
@@ -239,9 +283,10 @@ func runTerminal(scen *scenarios.Scenario, device string) {
 	}
 }
 
-func serveRMM(scen *scenarios.Scenario, addr string) {
+func serveRMM(scen *scenarios.Scenario, addr string, idleTimeout time.Duration) {
 	srv := rmm.NewServer(map[string]string{"admin": "admin"}, rmm.NewDirectBackend(scen.Network))
 	srv.SetTelemetry(telemetry.NewRegistry())
+	srv.SetIdleTimeout(idleTimeout)
 	if err := srv.Listen(addr); err != nil {
 		log.Fatal(err)
 	}
@@ -250,7 +295,11 @@ func serveRMM(scen *scenarios.Scenario, addr string) {
 	fmt.Println(`fetch the Prometheus dump with {"op":"metrics"} once logged in`)
 	fmt.Println("press enter to stop")
 	_, _ = bufio.NewReader(os.Stdin).ReadString('\n')
-	_ = srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("drain deadline hit, connections force-closed: %v\n", err)
+	}
 }
 
 func indent(s string) string {

@@ -40,6 +40,8 @@ import (
 	"heimdall/internal/dataplane"
 	"heimdall/internal/enclave"
 	"heimdall/internal/enforcer"
+	"heimdall/internal/faultinject"
+	"heimdall/internal/journal"
 	"heimdall/internal/monitor"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
@@ -271,6 +273,41 @@ type (
 // ScheduleChanges orders a change set for safe application (additive
 // changes before subtractive ones).
 var ScheduleChanges = enforcer.Schedule
+
+// Resilient commit pipeline (see docs/ROBUSTNESS.md).
+type (
+	// RetryPolicy tunes per-change push retries and backoff
+	// (Enforcer.Retry; the zero value means the defaults).
+	RetryPolicy = enforcer.RetryPolicy
+	// CommitTarget is the device-push path of a commit.
+	CommitTarget = enforcer.Target
+	// RecoveryReport describes what Enforcer.Recover did.
+	RecoveryReport = enforcer.RecoveryReport
+	// CommitJournal is the enforcer's write-ahead commit journal.
+	CommitJournal = journal.Journal
+	// JournalRecord is one hash-chained commit-journal record.
+	JournalRecord = journal.Record
+	// FaultPlan is a deterministic fault schedule.
+	FaultPlan = faultinject.Plan
+	// FaultRule schedules faults for one device/operation.
+	FaultRule = faultinject.Rule
+	// FaultInjector executes a FaultPlan (Enforcer.SetInjector).
+	FaultInjector = faultinject.Injector
+)
+
+var (
+	// NewFaultInjector builds an injector from a fault plan.
+	NewFaultInjector = faultinject.New
+	// RandomFaultPlan derives a reproducible fault schedule from a seed.
+	RandomFaultPlan = faultinject.RandomPlan
+	// IsTransientFault reports whether an error is retryable.
+	IsTransientFault = faultinject.IsTransient
+	// WrapFaultConn gates a net.Conn with an injector (transport drills).
+	WrapFaultConn = faultinject.WrapConn
+	// ImportCommitJournal parses an exported commit journal and verifies
+	// it against the journal key before recovery may trust it.
+	ImportCommitJournal = journal.Import
+)
 
 // ImportAuditTrail parses an exported audit trail and verifies it against
 // the trail key, rejecting any tampering.

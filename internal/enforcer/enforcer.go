@@ -16,6 +16,7 @@ package enforcer
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -24,6 +25,8 @@ import (
 	"heimdall/internal/config"
 	"heimdall/internal/dataplane"
 	"heimdall/internal/enclave"
+	"heimdall/internal/faultinject"
+	"heimdall/internal/journal"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
 	"heimdall/internal/telemetry"
@@ -38,9 +41,21 @@ import (
 type Enforcer struct {
 	encl     *enclave.Enclave
 	trail    *audit.Trail
+	journal  *journal.Journal
 	policies []verify.Policy
 	meter    telemetry.Meter
 	commitMu sync.Mutex
+	// target, when set, replaces the in-memory production push path
+	// (SetTarget); injector gates the default path (SetInjector).
+	target   Target
+	injector *faultinject.Injector
+	// commitSeq numbers commits within this enforcer for journal ids.
+	commitSeq int
+	// quarantined is the degraded state entered when a rollback fails:
+	// production is partial, the journal says exactly how, and new
+	// commits are refused until Recover restores consistency.
+	quarantined bool
+	quarReason  string
 	// Incremental restricts verification to policies whose traffic could
 	// be affected by the changed devices (plus all isolation policies).
 	Incremental bool
@@ -48,14 +63,20 @@ type Enforcer struct {
 	// host pairs whose connectivity the change set would flip. Off by
 	// default (it probes all pairs twice).
 	ReportDeltas bool
+	// Retry is the push retry/backoff policy; the zero value means the
+	// defaults (3 attempts, 50ms base backoff doubling to 1s, 5s per-op
+	// budget, seeded jitter).
+	Retry RetryPolicy
 }
 
 // New creates an enforcer hosted in the given enclave, guarding the given
-// policy set. The audit trail key never exists outside the enclave.
+// policy set. The audit-trail and commit-journal keys never exist outside
+// the enclave.
 func New(encl *enclave.Enclave, policies []verify.Policy) *Enforcer {
 	return &Enforcer{
 		encl:     encl,
 		trail:    audit.NewTrail(encl.DeriveKey("audit-trail")),
+		journal:  journal.New(encl.DeriveKey("commit-journal")),
 		policies: policies,
 		meter:    telemetry.Nop(),
 	}
@@ -69,6 +90,7 @@ func (e *Enforcer) SetMeter(m telemetry.Meter) {
 	}
 	e.meter = m
 	e.trail.SetMeter(m)
+	e.journal.SetMeter(m)
 }
 
 // Trail returns the enforcer's audit trail.
@@ -242,13 +264,21 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// Commit reviews, schedules and applies the change set to production.
-// After application it re-verifies the full policy set against the real
-// network; if that post-check fails (e.g. because of drift between the twin
-// baseline and production), every applied change is rolled back.
+// Commit reviews, schedules and applies the change set to production
+// through the push pipeline: the commit intent (change set + device
+// pre-state) is journaled before anything touches production, every change
+// is pushed with per-change retry/backoff and journaled as applied, and
+// after application the full policy set is re-verified against the real
+// network. On any unrecoverable failure every touched device is restored
+// (rollback is retried too); if rollback itself fails the enforcer
+// quarantines rather than leave a silent partial state.
 func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) (*Decision, error) {
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
+	if e.quarantined {
+		e.countCommit(false)
+		return nil, fmt.Errorf("enforcer: quarantined (%s); run Recover before committing", e.quarReason)
+	}
 	d := e.Review(prod, changes, spec)
 	if !d.Accepted {
 		e.countCommit(false)
@@ -256,23 +286,49 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 	}
 	ordered := Schedule(changes)
 	backup := prod.Clone()
-	for _, c := range ordered {
-		if err := config.ApplyChange(prod.Devices[c.Device], c); err != nil {
-			e.rollback(prod, backup, spec, fmt.Sprintf("apply failed: %v", err))
+	tgt := e.pushTarget(prod)
+	policy := e.Retry.withDefaults()
+	e.commitSeq++
+	cid := fmt.Sprintf("%s#%d", spec.Ticket, e.commitSeq)
+	// Seed the backoff jitter per commit so a replayed fault schedule
+	// sees identical delays.
+	rng := rand.New(rand.NewSource(policy.JitterSeed + int64(e.commitSeq)))
+	id := specIdent{spec.Ticket, spec.Technician}
+	devices := touchedDevices(ordered)
+
+	// Write-ahead: the journal knows the full plan before device one.
+	e.journal.Intent(cid, spec.Ticket, spec.Technician, ordered, preState(backup, ordered))
+	for i, c := range ordered {
+		opStart := time.Now()
+		err := e.pushOp(policy, rng, "apply", func() error { return tgt.Apply(c) })
+		e.meter.Histogram("heimdall_enforcer_push_seconds", telemetry.LatencyBuckets).
+			ObserveDuration(time.Since(opStart))
+		if err != nil {
+			outcome := e.rollbackPush(tgt, policy, rng, backup, devices, id, cid,
+				fmt.Sprintf("apply failed: %v", err))
 			e.countCommit(false)
+			if outcome == "quarantined" {
+				return d, fmt.Errorf("enforcer: applying %s: %v; rollback failed, production quarantined", c, err)
+			}
 			return d, fmt.Errorf("enforcer: applying %s: %w (rolled back)", c, err)
 		}
+		e.journal.Applied(cid, i, c.String())
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, c.String(), true)
 		e.meter.Counter("heimdall_enforcer_changes_applied_total").Inc()
 	}
 	post := verify.CheckMetered(dataplane.ComputeWithOptions(prod, dataplane.Options{Meter: e.meter}), e.policies, e.meter)
 	if !post.OK() {
-		e.rollback(prod, backup, spec, fmt.Sprintf("post-apply verification failed: %d violations", len(post.Violations)))
+		outcome := e.rollbackPush(tgt, policy, rng, backup, devices, id, cid,
+			fmt.Sprintf("post-apply verification failed: %d violations", len(post.Violations)))
 		d.Accepted = false
 		d.Violations = post.Violations
 		e.countCommit(false)
+		if outcome == "quarantined" {
+			return d, fmt.Errorf("enforcer: post-apply verification failed; rollback failed, production quarantined")
+		}
 		return d, fmt.Errorf("enforcer: post-apply verification failed (rolled back)")
 	}
+	e.journal.Committed(cid, fmt.Sprintf("%d changes", len(ordered)))
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindSession,
 		fmt.Sprintf("committed %d changes to production", len(ordered)), true)
 	e.countCommit(true)
@@ -283,12 +339,4 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 func (e *Enforcer) countCommit(accepted bool) {
 	e.meter.Counter("heimdall_enforcer_commits_total",
 		telemetry.L("accepted", fmt.Sprintf("%t", accepted))).Inc()
-}
-
-// rollback restores production from the backup snapshot.
-func (e *Enforcer) rollback(prod, backup *netmodel.Network, spec *privilege.Spec, why string) {
-	prod.Devices = backup.Devices
-	prod.Links = backup.Links
-	e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, "ROLLBACK: "+why, false)
-	e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
 }

@@ -1,0 +1,364 @@
+package enforcer
+
+// The resilient commit pipeline: production pushes go through a Target
+// with per-change retry/backoff, every step is journaled write-ahead, and
+// rollback is itself retried — if rollback cannot restore a device the
+// enforcer degrades to a quarantined state instead of pretending. The
+// invariant the chaos suite proves: after any fault schedule production is
+// either fully committed or fully rolled back, never silently partial, and
+// the journal + audit trail say which.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/faultinject"
+	"heimdall/internal/journal"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/telemetry"
+	"heimdall/internal/verify"
+)
+
+// Target abstracts the device-push path of a commit: today an in-memory
+// production network, later an RMM-backed channel to real devices. Apply
+// and RestoreDevice may fail transiently (see faultinject.IsTransient);
+// the pipeline retries around them.
+type Target interface {
+	// Apply pushes one change to the production device it names.
+	Apply(c config.Change) error
+	// RestoreDevice replaces a device's running state with the given
+	// pre-change snapshot (rollback and recovery).
+	RestoreDevice(name string, d *netmodel.Device) error
+}
+
+// memTarget is the in-memory production target, optionally gated by a
+// fault injector on the "apply" and "restore" ops.
+type memTarget struct {
+	net *netmodel.Network
+	inj *faultinject.Injector
+}
+
+func (t *memTarget) Apply(c config.Change) error {
+	if t.inj != nil {
+		if err := t.inj.Visit(c.Device, "apply"); err != nil {
+			return err
+		}
+	}
+	d := t.net.Devices[c.Device]
+	if d == nil {
+		return fmt.Errorf("enforcer: no production device %q", c.Device)
+	}
+	return config.ApplyChange(d, c)
+}
+
+func (t *memTarget) RestoreDevice(name string, d *netmodel.Device) error {
+	if t.inj != nil {
+		if err := t.inj.Visit(name, "restore"); err != nil {
+			return err
+		}
+	}
+	t.net.Devices[name] = d
+	return nil
+}
+
+// RetryPolicy controls per-change push retries. The zero value means the
+// defaults; only transient failures (faultinject.IsTransient) are retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per operation (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; it doubles per
+	// attempt (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-attempt delay (default 1s).
+	MaxBackoff time.Duration
+	// OpTimeout bounds the wall-clock budget of one operation including
+	// its retries (default 5s).
+	OpTimeout time.Duration
+	// JitterSeed seeds the backoff jitter so fault schedules replay
+	// identically (default 1).
+	JitterSeed int64
+	// Sleep is the backoff sink; nil means time.Sleep. Tests install a
+	// recording fake so chaos schedules run at full speed.
+	Sleep func(time.Duration)
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.OpTimeout <= 0 {
+		p.OpTimeout = 5 * time.Second
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the jittered delay before the given retry (attempt is
+// the 1-based number of the attempt that just failed).
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	// Jitter in [d/2, d): desynchronises retries against a recovering
+	// device without ever exceeding the cap.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// pushOp runs one target operation with retry, backoff and the per-op
+// timeout. phase labels the retry counter ("apply" or "rollback").
+func (e *Enforcer) pushOp(p RetryPolicy, rng *rand.Rand, phase string, op func() error) error {
+	start := time.Now()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if !faultinject.IsTransient(err) || attempt >= p.MaxAttempts ||
+			time.Since(start) >= p.OpTimeout {
+			return err
+		}
+		e.meter.Counter("heimdall_enforcer_push_retries_total",
+			telemetry.L("phase", phase)).Inc()
+		p.Sleep(p.backoff(attempt, rng))
+	}
+}
+
+// SetInjector gates the default in-memory target with a fault injector
+// (chaos tests and drills). A nil injector removes the gate.
+func (e *Enforcer) SetInjector(inj *faultinject.Injector) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	e.injector = inj
+}
+
+// SetTarget replaces the production push path (e.g. an RMM-backed
+// target). The target must mutate the same *netmodel.Network that Commit
+// receives, because post-apply verification recomputes from it. A nil
+// target restores the built-in in-memory path.
+func (e *Enforcer) SetTarget(t Target) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	e.target = t
+}
+
+// pushTarget returns the Target for the given production network.
+// Callers hold commitMu.
+func (e *Enforcer) pushTarget(prod *netmodel.Network) Target {
+	if e.target != nil {
+		return e.target
+	}
+	return &memTarget{net: prod, inj: e.injector}
+}
+
+// Journal returns the enforcer's write-ahead commit journal.
+func (e *Enforcer) Journal() *journal.Journal { return e.journal }
+
+// SetJournal replaces the commit journal — recovery after a crash imports
+// the surviving journal (authenticated under JournalKey) and hands it to a
+// fresh enforcer.
+func (e *Enforcer) SetJournal(j *journal.Journal) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	e.journal = j
+}
+
+// JournalKey returns a copy of the journal HMAC key (released, like the
+// trail key, only over the attested channel).
+func (e *Enforcer) JournalKey() []byte {
+	k := e.encl.DeriveKey("commit-journal")
+	return append([]byte(nil), k...)
+}
+
+// Quarantined reports whether a failed rollback left production in the
+// degraded state, and why. While quarantined the enforcer refuses new
+// commits; Recover clears the state by restoring consistency.
+func (e *Enforcer) Quarantined() (bool, string) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return e.quarantined, e.quarReason
+}
+
+// touchedDevices returns the sorted unique device names of a change set.
+func touchedDevices(changes []config.Change) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range changes {
+		if !seen[c.Device] {
+			seen[c.Device] = true
+			out = append(out, c.Device)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// preState renders the canonical pre-change configuration of every device
+// the change set touches, for the journal's intent record.
+func preState(backup *netmodel.Network, changes []config.Change) map[string]string {
+	pre := make(map[string]string)
+	for _, name := range touchedDevices(changes) {
+		if d := backup.Devices[name]; d != nil {
+			pre[name] = config.Print(d)
+		}
+	}
+	return pre
+}
+
+// rollbackPush restores every touched device from the backup through the
+// target, retrying each restore. If any device cannot be restored the
+// enforcer quarantines instead of leaving a silent partial state. It
+// returns the terminal outcome ("rolled-back" or "quarantined"). Callers
+// hold commitMu.
+func (e *Enforcer) rollbackPush(tgt Target, p RetryPolicy, rng *rand.Rand, backup *netmodel.Network, devices []string, spec specIdent, cid, why string) string {
+	var restored, failed []string
+	for _, name := range devices {
+		d := backup.Devices[name]
+		if d == nil {
+			continue
+		}
+		err := e.pushOp(p, rng, "rollback", func() error {
+			return tgt.RestoreDevice(name, d.Clone())
+		})
+		if err != nil {
+			failed = append(failed, name)
+		} else {
+			restored = append(restored, name)
+		}
+	}
+	if len(failed) > 0 {
+		e.quarantined = true
+		e.quarReason = fmt.Sprintf("rollback failed on %v (%s)", failed, why)
+		e.journal.Quarantined(cid, restored, failed, why)
+		e.trail.Append(spec.ticket, spec.technician, audit.KindSession,
+			fmt.Sprintf("QUARANTINE: rollback failed on %v: %s", failed, why), false)
+		e.meter.Counter("heimdall_enforcer_quarantines_total").Inc()
+		return "quarantined"
+	}
+	e.journal.RolledBack(cid, restored, why)
+	e.trail.Append(spec.ticket, spec.technician, audit.KindChange, "ROLLBACK: "+why, false)
+	e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
+	return "rolled-back"
+}
+
+// specIdent is the (ticket, technician) identity trail entries carry.
+type specIdent struct{ ticket, technician string }
+
+// RecoveryReport describes what Recover did.
+type RecoveryReport struct {
+	// Commit is the journal commit id that was open, or "" when the
+	// journal had no unfinished commit.
+	Commit string
+	// Action is "none", "committed" or "rolled-back".
+	Action string
+	// Changes is how many changes the recovered commit carried.
+	Changes int
+}
+
+// Recover completes or undoes a commit the journal left open — the state
+// a crash between the intent record and the terminal record leaves behind.
+// It restores every touched device to its journaled pre-state, replays the
+// full scheduled change set, and re-runs post-apply verification: the
+// outcome (and the final production state) is therefore identical to the
+// uninterrupted run, whichever record the crash interrupted. Recovery runs
+// without the fault injector — it models the operator-driven repair path —
+// and clears a quarantine once production is consistent again.
+func (e *Enforcer) Recover(prod *netmodel.Network) (*RecoveryReport, error) {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	intent, _ := e.journal.Open()
+	if intent == nil {
+		return &RecoveryReport{Action: "none"}, nil
+	}
+	e.meter.Counter("heimdall_enforcer_recoveries_total").Inc()
+	id := specIdent{intent.Ticket, intent.Technician}
+	restore := func() error {
+		for _, name := range sortedKeys(intent.PreState) {
+			d, err := config.Parse(name, intent.PreState[name])
+			if err != nil {
+				return fmt.Errorf("enforcer: recovery: parsing pre-state of %s: %w", name, err)
+			}
+			prod.Devices[name] = d
+		}
+		return nil
+	}
+	if err := restore(); err != nil {
+		return nil, err
+	}
+	e.journal.Recovered(intent.Commit, fmt.Sprintf("restored pre-state of %d devices; replaying %d changes",
+		len(intent.PreState), len(intent.Changes)))
+	rep := &RecoveryReport{Commit: intent.Commit, Changes: len(intent.Changes)}
+	for i, c := range intent.Changes {
+		d := prod.Devices[c.Device]
+		var err error
+		if d == nil {
+			err = fmt.Errorf("enforcer: no production device %q", c.Device)
+		} else {
+			err = config.ApplyChange(d, c)
+		}
+		if err != nil {
+			if rerr := restore(); rerr != nil {
+				return nil, rerr
+			}
+			e.journal.RolledBack(intent.Commit, sortedKeys(intent.PreState),
+				fmt.Sprintf("recovery replay failed at change %d: %v", i, err))
+			e.trail.Append(id.ticket, id.technician, audit.KindChange,
+				fmt.Sprintf("ROLLBACK: recovery replay failed: %v", err), false)
+			e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
+			e.quarantined = false
+			e.quarReason = ""
+			rep.Action = "rolled-back"
+			return rep, nil
+		}
+		e.journal.Applied(intent.Commit, i, c.String())
+	}
+	post := verify.CheckMetered(dataplane.ComputeWithOptions(prod, dataplane.Options{Meter: e.meter}), e.policies, e.meter)
+	if !post.OK() {
+		if err := restore(); err != nil {
+			return nil, err
+		}
+		why := fmt.Sprintf("post-apply verification failed during recovery: %d violations", len(post.Violations))
+		e.journal.RolledBack(intent.Commit, sortedKeys(intent.PreState), why)
+		e.trail.Append(id.ticket, id.technician, audit.KindChange, "ROLLBACK: "+why, false)
+		e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
+		e.quarantined = false
+		e.quarReason = ""
+		rep.Action = "rolled-back"
+		return rep, nil
+	}
+	e.journal.Committed(intent.Commit, fmt.Sprintf("recovered: %d changes replayed", len(intent.Changes)))
+	e.trail.Append(id.ticket, id.technician, audit.KindSession,
+		fmt.Sprintf("recovered commit %s: %d changes replayed to production", intent.Commit, len(intent.Changes)), true)
+	e.quarantined = false
+	e.quarReason = ""
+	rep.Action = "committed"
+	return rep, nil
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,182 @@
+package enforcer
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"heimdall/internal/config"
+	"heimdall/internal/enclave"
+	"heimdall/internal/journal"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/scenarios"
+)
+
+// crashSpec authorizes everything: crash recovery is about push
+// resilience, not privilege.
+func crashSpec() *privilege.Spec {
+	return &privilege.Spec{Ticket: "CRASH", Technician: "op",
+		Rules: []privilege.Rule{{Effect: privilege.AllowEffect, Action: "*", Resource: "*"}}}
+}
+
+// neutralChanges builds a small committing change set for any scenario
+// network: inert VLAN definitions plus a no-op ACL permit inserted between
+// an existing deny and the trailing permit-all, so every policy keeps its
+// verdict and post-verify passes.
+func neutralChanges(t *testing.T, n *netmodel.Network) []config.Change {
+	t.Helper()
+	var changes []config.Change
+	var vlanDevs []string
+	for _, name := range n.RoutersAndSwitches() {
+		if len(vlanDevs) < 2 {
+			vlanDevs = append(vlanDevs, name)
+		}
+	}
+	for i, name := range vlanDevs {
+		changes = append(changes, config.Change{Device: name, Op: config.OpSetVLAN,
+			VLAN: &netmodel.VLAN{ID: 900 + i, Name: fmt.Sprintf("chaos-%d", i)}})
+	}
+	// Find an ACL that ends in a permit-all (seq 30 in both scenarios)
+	// and add a neutral permit at seq 25.
+	for _, name := range n.DeviceNames() {
+		d := n.Devices[name]
+		for acl, a := range d.ACLs {
+			for _, e := range a.Entries {
+				if e.Seq == 30 && e.Action == netmodel.Permit {
+					changes = append(changes, config.Change{Device: name, Op: config.OpAddACLEntry,
+						ACLName: acl, Entry: &netmodel.ACLEntry{Seq: 25, Action: netmodel.Permit,
+							Proto: netmodel.TCP, Dst: netip.MustParsePrefix("203.0.113.0/24"), DstPort: 443}})
+					return changes
+				}
+			}
+		}
+	}
+	if len(changes) == 0 {
+		t.Fatal("no neutral changes derivable for scenario")
+	}
+	return changes
+}
+
+// newCrashEnforcer builds an enforcer on a fixed platform seed so a
+// "rebooted" instance derives the same journal and trail keys.
+func newCrashEnforcer(scen *scenarios.Scenario) *Enforcer {
+	platform := enclave.NewPlatformFromSeed("crash-test")
+	encl := platform.Load("heimdall-enforcer-v1")
+	return New(encl, scen.Policies)
+}
+
+// TestRecoverEveryCrashPoint runs a clean commit on each seed scenario,
+// then simulates a crash after every journal record boundary: production
+// is reconstructed to exactly what the pipeline had pushed at that point,
+// a fresh enforcer imports the surviving journal prefix, and Recover must
+// land on the same final production state as the uninterrupted run.
+func TestRecoverEveryCrashPoint(t *testing.T) {
+	for _, load := range []func() *scenarios.Scenario{scenarios.Enterprise, scenarios.University} {
+		scen := load()
+		pre := scen.Network.Clone()
+		changes := neutralChanges(t, scen.Network)
+
+		// Uninterrupted run.
+		e := newCrashEnforcer(scen)
+		if _, err := e.Commit(scen.Network, changes, crashSpec()); err != nil {
+			t.Fatalf("%s: uninterrupted commit failed: %v", scen.Name, err)
+		}
+		finalFP := fingerprint(scen.Network)
+		full := e.Journal().Records()
+		ordered := full[0].Changes // the scheduled set the journal replays
+
+		for k := 1; k <= len(full); k++ {
+			prefix := full[:k]
+			// Reconstruct production as the crash left it: pre-state plus
+			// every change the journal prefix records as applied.
+			state := pre.Clone()
+			committedSeen := false
+			for _, r := range prefix {
+				switch r.Kind {
+				case journal.KindApplied:
+					if err := config.ApplyChange(state.Devices[ordered[r.ChangeIndex].Device], ordered[r.ChangeIndex]); err != nil {
+						t.Fatalf("%s: replaying applied record: %v", scen.Name, err)
+					}
+				case journal.KindCommitted:
+					committedSeen = true
+				}
+			}
+
+			// Reboot: a fresh enforcer imports the authenticated prefix.
+			e2 := newCrashEnforcer(scen)
+			data, err := json.Marshal(prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := journal.Import(e2.JournalKey(), data)
+			if err != nil {
+				t.Fatalf("%s: crash point %d: journal rejected: %v", scen.Name, k, err)
+			}
+			e2.SetJournal(j)
+			rep, err := e2.Recover(state)
+			if err != nil {
+				t.Fatalf("%s: crash point %d: recover: %v", scen.Name, k, err)
+			}
+			wantAction := "committed"
+			if committedSeen {
+				wantAction = "none"
+			}
+			if rep.Action != wantAction {
+				t.Fatalf("%s: crash point %d: action = %s, want %s", scen.Name, k, rep.Action, wantAction)
+			}
+			if got := fingerprint(state); got != finalFP {
+				t.Fatalf("%s: crash point %d: recovered state differs from uninterrupted run", scen.Name, k)
+			}
+			// The journal is settled and verifiable; recovery is idempotent.
+			if err := e2.Journal().Verify(); err != nil {
+				t.Fatalf("%s: crash point %d: %v", scen.Name, k, err)
+			}
+			if intent, _ := e2.Journal().Open(); intent != nil {
+				t.Fatalf("%s: crash point %d: commit still open after recovery", scen.Name, k)
+			}
+			again, err := e2.Recover(state)
+			if err != nil || again.Action != "none" {
+				t.Fatalf("%s: crash point %d: second recover = %+v, %v", scen.Name, k, again, err)
+			}
+		}
+	}
+}
+
+// TestRecoverNothingOpen: a journal with only settled commits is a no-op.
+func TestRecoverNothingOpen(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	if _, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint(n)
+	rep, err := e.Recover(n)
+	if err != nil || rep.Action != "none" {
+		t.Fatalf("Recover = %+v, %v, want none", rep, err)
+	}
+	if fingerprint(n) != fp {
+		t.Fatal("no-op recovery mutated production")
+	}
+}
+
+// TestRecoverTamperedJournalRejected: recovery must never trust a forged
+// journal — Import authenticates before Recover sees it.
+func TestRecoverTamperedJournalRejected(t *testing.T) {
+	n := prod()
+	e := newEnforcer(n)
+	// Leave a commit open by crashing after intent: simulate by exporting
+	// a prefix of a full run.
+	if _, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+		t.Fatal(err)
+	}
+	full := e.Journal().Records()
+	prefix := full[:1]
+	// Forge the pre-state to point recovery at a different config.
+	prefix[0].PreState = map[string]string{"r1": "! kind: router\nhostname r1\n"}
+	data, _ := json.Marshal(prefix)
+	if _, err := journal.Import(e.JournalKey(), data); err == nil {
+		t.Fatal("forged journal prefix imported")
+	}
+}

@@ -1,0 +1,41 @@
+package faultinject
+
+import "net"
+
+// Conn wraps a net.Conn so the injector can fail or delay reads and
+// writes on schedule — the transport-level half of the fault model. An
+// injected fault closes the underlying connection (a half-dead TCP session
+// looks like a hard close to the peer) and surfaces the classified error.
+type Conn struct {
+	net.Conn
+	inj   *Injector
+	scope string
+}
+
+// WrapConn attaches the injector to a connection under the given scope.
+// Rules with ops "read" and "write" apply; a nil injector returns the
+// connection unchanged.
+func WrapConn(c net.Conn, inj *Injector, scope string) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj, scope: scope}
+}
+
+// Read implements net.Conn with fault injection on the "read" op.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.inj.Visit(c.scope, "read"); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with fault injection on the "write" op.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.inj.Visit(c.scope, "write"); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

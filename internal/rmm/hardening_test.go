@@ -1,0 +1,283 @@
+package rmm
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"heimdall/internal/faultinject"
+)
+
+// slowBackend serves exec only after a gate opens — the shape of an
+// in-flight request during shutdown.
+type slowBackend struct {
+	gate chan struct{}
+}
+
+func (b *slowBackend) Devices(string) []string { return []string{"r1"} }
+func (b *slowBackend) Exec(_, _, _ string) (string, error) {
+	<-b.gate
+	return "slow-ok", nil
+}
+
+// TestClientIOTimeoutNonAcceptingListener: a listener that never accepts
+// still completes the kernel handshake, so the hang appears at the first
+// request, not at Dial. The client's IO timeout must bound it.
+func TestClientIOTimeoutNonAcceptingListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() // never accepts
+	c, err := DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial into listen backlog failed: %v", err)
+	}
+	defer c.Close()
+	c.SetIOTimeout(100 * time.Millisecond)
+	start := time.Now()
+	err = c.Login("alice", "tok-a")
+	if err == nil {
+		t.Fatal("login against non-accepting listener succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("login took %v, deadline did not bound it", elapsed)
+	}
+}
+
+// TestDialTLSTimeoutHandshakeHang: a server that accepts TCP but never
+// speaks TLS must not hang the dialer — the timeout covers the handshake.
+func TestDialTLSTimeoutHandshakeHang(t *testing.T) {
+	creds, err := NewSelfSignedTLS([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, conn) // accept, then silence
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	start := time.Now()
+	_, err = DialTLSTimeout(ln.Addr().String(), creds.ClientConfig("127.0.0.1"), 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("TLS dial against silent listener succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("TLS dial took %v, timeout did not bound the handshake", elapsed)
+	}
+}
+
+// TestErrConnClosedMidExec: the server dies between accepting a request
+// and answering it — the client must surface the one sentinel reconnect
+// logic keys on, not a scanner quirk.
+func TestErrConnClosedMidExec(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		conn.Read(buf)                        // login request
+		conn.Write([]byte("{\"ok\":true}\n")) // login OK
+		conn.Read(buf)                        // exec request...
+		conn.Close()                          // ...and the server dies
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Exec("r1", "show version")
+	if !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("exec against dying server = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestServerCloseYieldsErrConnClosed: the real server's Close must produce
+// the same sentinel.
+func TestServerCloseYieldsErrConnClosed(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("r1", "show ip route"); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("exec after server close = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestShutdownDrainsInFlightExec: a graceful shutdown lets the in-flight
+// request finish and the client sees its response.
+func TestShutdownDrainsInFlightExec(t *testing.T) {
+	backend := &slowBackend{gate: make(chan struct{})}
+	srv := NewServer(map[string]string{"alice": "tok-a"}, backend)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c := login(t, srv.Addr(), "alice", "tok-a")
+
+	type result struct {
+		out string
+		err error
+	}
+	execDone := make(chan result, 1)
+	go func() {
+		out, err := c.Exec("r1", "show version")
+		execDone <- result{out, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the exec reach the backend
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(backend.gate) // the in-flight request completes mid-drain
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// The drained handler exits once the client disconnects.
+	go func() {
+		r := <-execDone
+		execDone <- r
+		c.Close()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	r := <-execDone
+	if r.err != nil || r.out != "slow-ok" {
+		t.Fatalf("in-flight exec during drain = %q, %v; want slow-ok", r.out, r.err)
+	}
+}
+
+// TestShutdownForceClosesOnDeadline: an idle client that never hangs up
+// cannot stall shutdown forever — the context deadline force-closes it,
+// and Shutdown still returns only after every handler exited.
+func TestShutdownForceClosesOnDeadline(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	c := login(t, srv.Addr(), "alice", "tok-a")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown with idle client = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v after force-close", elapsed)
+	}
+	if _, err := c.Exec("r1", "show ip route"); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("exec after forced shutdown = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestIdleTimeoutDropsConnection: the server reclaims connections whose
+// technician walked away.
+func TestIdleTimeoutDropsConnection(t *testing.T) {
+	srv := NewServer(map[string]string{"alice": "tok-a"}, NewDirectBackend(prodNet()))
+	srv.SetIdleTimeout(50 * time.Millisecond)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := login(t, srv.Addr(), "alice", "tok-a")
+	time.Sleep(200 * time.Millisecond)
+	if _, err := c.Exec("r1", "show ip route"); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("exec on idle-dropped conn = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestDialRetryReconnects: the client half of a server bounce — retries
+// with backoff until the listener is back.
+func TestDialRetryReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening: first attempts fail fast
+
+	srv := NewServer(map[string]string{"alice": "tok-a"}, NewDirectBackend(prodNet()))
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		if err := srv.Listen(addr); err != nil {
+			t.Errorf("relisten: %v", err)
+		}
+	}()
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := DialRetry(addr, 8, 25*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DialRetry never reconnected: %v", err)
+	}
+	defer c.Close()
+	if err := c.Login("alice", "tok-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero attempts degrade to one try; a dead address reports the cause.
+	if _, err := DialRetry("127.0.0.1:1", 0, time.Millisecond); err == nil {
+		t.Fatal("DialRetry to dead port succeeded")
+	}
+}
+
+// TestWrappedConnInjectsTransportFaults: the chaos injector plugs in under
+// the client as a net.Conn, so transport-level schedules reach the same
+// classification the pipeline retries on.
+func TestWrappedConnInjectsTransportFaults(t *testing.T) {
+	srv := startServer(t, NewDirectBackend(prodNet()))
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+		{Scope: "rmm", Op: "write", FailNth: 1, Class: faultinject.Transient},
+	}})
+	c := NewClientFromConn(faultinject.WrapConn(conn, inj, "rmm"))
+	defer c.Close()
+	err = c.Login("alice", "tok-a")
+	if err == nil {
+		t.Fatal("login over faulted conn succeeded")
+	}
+	if !faultinject.IsTransient(err) {
+		t.Fatalf("injected transport fault not classified transient: %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", inj.Injected())
+	}
+}

@@ -15,6 +15,7 @@ package rmm
 
 import (
 	"bufio"
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -22,12 +23,40 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"heimdall/internal/console"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/telemetry"
 )
+
+// Transport hardening defaults. The RMM channel crosses the MSP/customer
+// boundary, so every blocking step is bounded: an unresponsive peer must
+// surface as an error the commit pipeline can retry, never as a hang.
+const (
+	// DefaultDialTimeout bounds connection establishment (and, for TLS,
+	// the handshake).
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultIdleTimeout is how long the server keeps an idle
+	// authenticated connection before dropping it.
+	DefaultIdleTimeout = 2 * time.Minute
+	// serverWriteTimeout bounds one response write; a client that stops
+	// reading cannot pin a handler goroutine forever.
+	serverWriteTimeout = 10 * time.Second
+)
+
+// ErrConnClosed reports that the server closed the connection — at idle
+// timeout, shutdown, or mid-request. Callers detect it with errors.Is and
+// reconnect (see DialRetry).
+var ErrConnClosed = errors.New("rmm: connection closed")
+
+// connClosed reports whether a transport error means the peer is gone
+// rather than the request being malformed.
+func connClosed(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
 
 // Backend executes commands for authenticated technicians.
 type Backend interface {
@@ -92,6 +121,7 @@ type Server struct {
 	backend Backend
 	tokens  map[string]string // user -> token
 	meter   telemetry.Meter
+	idle    time.Duration
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -106,8 +136,13 @@ func NewServer(tokens map[string]string, backend Backend) *Server {
 	for u, tok := range tokens {
 		t[u] = tok
 	}
-	return &Server{backend: backend, tokens: t, meter: telemetry.Nop(), conns: make(map[net.Conn]bool)}
+	return &Server{backend: backend, tokens: t, meter: telemetry.Nop(),
+		conns: make(map[net.Conn]bool), idle: DefaultIdleTimeout}
 }
+
+// SetIdleTimeout changes how long the server keeps an idle connection
+// (call before Listen; zero disables the deadline).
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idle = d }
 
 // SetTelemetry wires a meter into the server (call before Listen). When
 // the meter also implements telemetry.Exposer — a *telemetry.Registry
@@ -162,6 +197,38 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting, lets
+// in-flight requests finish, and waits for every handler. If the context
+// expires first the remaining connections are force-closed and ctx's error
+// is returned — but never before the handlers have actually exited, so a
+// returned Shutdown means no request is still touching the backend.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
 // track registers a live connection; it returns false when the server is
 // already closing.
 func (s *Server) track(conn net.Conn, add bool) bool {
@@ -204,16 +271,26 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	enc := json.NewEncoder(conn)
 	authedUser := ""
-	for sc.Scan() {
+	for {
+		// The idle deadline covers waiting for the next request; a
+		// technician who walks away does not hold a connection slot.
+		if s.idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		if !sc.Scan() {
+			return
+		}
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			_ = enc.Encode(response{Error: "malformed request"})
 			return
 		}
 		resp := s.dispatch(&authedUser, req)
+		_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+		_ = conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -276,37 +353,80 @@ type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
 	sc   *bufio.Scanner
+	io   time.Duration
 }
 
 // Dial connects to an RMM server over plain TCP (tests and the lab CLI;
-// production deployments use DialTLS).
+// production deployments use DialTLS) within DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects with an explicit connection-establishment bound.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("rmm: dial: %w", err)
 	}
-	return newClient(conn), nil
+	return NewClientFromConn(conn), nil
 }
 
-// newClient wraps an established connection.
-func newClient(conn net.Conn) *Client {
+// DialRetry dials with exponential backoff: attempts tries, sleeping
+// base, 2*base, ... between them. It is the client half of graceful server
+// restarts — a technician session survives the RMM server bouncing.
+func DialRetry(addr string, attempts int, base time.Duration) (*Client, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(base << (i - 1))
+		}
+		c, err := DialTimeout(addr, DefaultDialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rmm: dial failed after %d attempts: %w", attempts, lastErr)
+}
+
+// NewClientFromConn wraps an established connection — e.g. one wrapped by
+// faultinject.WrapConn for transport-fault drills.
+func NewClientFromConn(conn net.Conn) *Client {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}
 }
 
+// SetIOTimeout bounds each request round (write + response read). Zero —
+// the default — leaves rounds unbounded for interactive sessions; the
+// enforcer's push path sets it so a wedged server cannot stall a commit.
+func (c *Client) SetIOTimeout(d time.Duration) { c.io = d }
+
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) round(req request) (response, error) {
+	if c.io > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.io))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
+		if connClosed(err) {
+			return response{}, fmt.Errorf("rmm: send: %w", ErrConnClosed)
+		}
 		return response{}, fmt.Errorf("rmm: send: %w", err)
 	}
 	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return response{}, fmt.Errorf("rmm: recv: %w", err)
+		err := c.sc.Err()
+		if err == nil || connClosed(err) {
+			// EOF mid-request: the server closed on us (shutdown, idle
+			// drop, crash). One sentinel so callers can reconnect.
+			return response{}, ErrConnClosed
 		}
-		return response{}, io.ErrUnexpectedEOF
+		return response{}, fmt.Errorf("rmm: recv: %w", err)
 	}
 	var resp response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {

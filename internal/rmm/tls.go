@@ -1,6 +1,7 @@
 package rmm
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -99,11 +100,23 @@ func (s *Server) ListenTLS(addr string, creds *ServerTLS) error {
 	return nil
 }
 
-// DialTLS connects to a TLS RMM server using the pinned client config.
+// DialTLS connects to a TLS RMM server using the pinned client config,
+// bounding connection plus handshake by DefaultDialTimeout.
 func DialTLS(addr string, cfg *tls.Config) (*Client, error) {
-	conn, err := tls.Dial("tcp", addr, cfg)
+	return DialTLSTimeout(addr, cfg, DefaultDialTimeout)
+}
+
+// DialTLSTimeout is DialTLS with an explicit bound. The timeout covers the
+// TCP connect AND the TLS handshake: a listener that accepts but never
+// handshakes — the shape a half-dead RMM server presents — cannot hang the
+// client.
+func DialTLSTimeout(addr string, cfg *tls.Config, timeout time.Duration) (*Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	d := &tls.Dialer{NetDialer: &net.Dialer{Timeout: timeout}, Config: cfg}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rmm: tls dial: %w", err)
 	}
-	return newClient(conn), nil
+	return NewClientFromConn(conn), nil
 }
