@@ -334,6 +334,56 @@ func BenchmarkSnapshotCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkDerive measures incremental snapshot derivation against a full
+// recompute at university scale — the per-trial cost of the mutation
+// sweep. "full-compute" is the old path (deep Clone + Compute);
+// "derive-static" rebuilds one device's RIB+FIB; "derive-acl" recomputes
+// nothing at all. The acceptance bar is derive-static ≥ 10× cheaper than
+// full-compute; TestDeriveMatchesCompute proves the outputs identical.
+func BenchmarkDerive(b *testing.B) {
+	scen := scenarios.University()
+	base := scen.Network
+	snap := dataplane.Compute(base)
+	blackhole := netip.MustParseAddr("10.200.0.3")
+
+	b.Run("full-compute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.Clone()
+			trial.Devices["r2"].StaticRoutes = append(trial.Devices["r2"].StaticRoutes,
+				netmodel.StaticRoute{Prefix: netip.MustParsePrefix("10.5.0.0/24"), NextHop: blackhole})
+			dataplane.Compute(trial)
+		}
+	})
+	b.Run("derive-static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.CloneCOW("r2")
+			trial.Devices["r2"].StaticRoutes = append(trial.Devices["r2"].StaticRoutes,
+				netmodel.StaticRoute{Prefix: netip.MustParsePrefix("10.5.0.0/24"), NextHop: blackhole})
+			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeStatic}})
+		}
+	})
+	b.Run("derive-acl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.CloneCOW("r2")
+			d := trial.Devices["r2"]
+			d.ACL(d.ACLNames()[0], true).InsertEntry(netmodel.ACLEntry{
+				Seq: 1, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+			})
+			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeACL}})
+		}
+	})
+	b.Run("derive-ospf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.CloneCOW("r2")
+			d := trial.Devices["r2"]
+			for _, ifName := range d.InterfaceNames() {
+				d.OSPF.Passive[ifName] = true
+			}
+			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeOSPF}})
+		}
+	})
+}
+
 // BenchmarkEndToEndWorkflow measures one full ticket lifecycle (system
 // construction, twin, mediation, verification, commit) on the enterprise
 // network, using the ISP issue.

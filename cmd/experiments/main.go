@@ -6,6 +6,7 @@
 //	experiments -fig9          # Figure 9: university trade-off
 //	experiments -verifycost    # §4.3 verification-cost anchor
 //	experiments -chaos N       # N seeded fault schedules vs the pipeline
+//	experiments -bench-json P  # write the performance trajectory to P
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
@@ -44,9 +45,10 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the fig8/fig9 sweep (1 = serial; results identical)")
 		telem      = flag.Bool("telemetry", false, "with -fig7: export pilot-study spans as JSONL")
 		spansPath  = flag.String("spans", "fig7_spans.jsonl", "span JSONL output path for -telemetry")
+		benchJSON  = flag.String("bench-json", "", "measure the performance trajectory and write it as JSON to the given path")
 	)
 	flag.Parse()
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,6 +109,24 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatChaos(s))
+		})
+	}
+	if *benchJSON != "" {
+		timed("bench", func() {
+			report := experiments.RunBench()
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := report.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote benchmark trajectory to %s (fig8 serial %.2fs, derive-static %.0fx)\n",
+				*benchJSON, report.Figure8SerialSeconds, report.DeriveStaticSpeed)
 		})
 	}
 	if *all || *verifyCost {

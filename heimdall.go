@@ -121,6 +121,23 @@ type (
 	Flow = dataplane.Flow
 	// Trace is the hop-by-hop fate of one flow.
 	Trace = dataplane.Trace
+	// ChangeKind classifies a configuration change for incremental
+	// snapshot derivation (Snapshot.Derive).
+	ChangeKind = dataplane.ChangeKind
+	// NetworkChange names one mutated device and its change class.
+	NetworkChange = dataplane.Change
+	// ChangeSet lists the changes between a snapshot's network and a
+	// derived network.
+	ChangeSet = dataplane.ChangeSet
+)
+
+// Change classes for Snapshot.Derive.
+const (
+	ChangeACL      = dataplane.ChangeACL
+	ChangeStatic   = dataplane.ChangeStatic
+	ChangeOSPF     = dataplane.ChangeOSPF
+	ChangeBGP      = dataplane.ChangeBGP
+	ChangeTopology = dataplane.ChangeTopology
 )
 
 // ComputeSnapshot computes the forwarding behaviour of a network.

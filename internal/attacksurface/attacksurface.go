@@ -193,6 +193,11 @@ func (l limiter) release() { <-l }
 // the cases run on a bounded worker pool (and mutation trials fan out
 // under the same bound); samples are merged in fault-case order, so the
 // result is identical to the serial sweep.
+//
+// Fault setup relies on the ticket.Fault contract that Inject mutates only
+// the RootCause device (every built-in fault does): each case's network is
+// a copy-on-write clone of ev.Base sharing all other devices, so a custom
+// Fault writing beyond its RootCause would corrupt ev.Base.
 func (ev *Evaluator) Evaluate(tech Technique, cases []FaultCase) *Result {
 	res := &Result{Technique: tech.Name}
 	totalAvail := 0
@@ -259,7 +264,12 @@ func (ev *Evaluator) Evaluate(tech Technique, cases []FaultCase) *Result {
 func (ev *Evaluator) evaluateCase(tech Technique, fc FaultCase,
 	availPer map[string]int, totalAvail int, gate limiter) (Sample, bool) {
 
-	faulted := ev.Base.Clone()
+	// Every ticket.Fault injector mutates only its RootCause device (the
+	// contract Evaluate documents), so the faulted network shares all other
+	// devices with ev.Base copy-on-write. The faulted snapshot is a full
+	// compute: the injected fault is an interface-down, which changes L2
+	// adjacency, so there is nothing for a derivation to reuse.
+	faulted := ev.Base.CloneCOW(fc.Fault.RootCause)
 	if err := fc.Fault.Inject(faulted); err != nil {
 		return Sample{}, false
 	}
@@ -386,10 +396,13 @@ func violatedSet(snap *dataplane.Snapshot, policies []verify.Policy) map[string]
 }
 
 // mutation is one canonical malicious action a technician could attempt.
+// kind classifies what the mutation can affect, letting the trial derive
+// its dataplane snapshot from the faulted one instead of recomputing it.
 type mutation struct {
 	device   string
 	action   string
 	resource string
+	kind     dataplane.ChangeKind
 	apply    func(n *netmodel.Network)
 }
 
@@ -488,7 +501,7 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 			if len(violated) >= winnable {
 				break // every winnable policy is violable already
 			}
-			for _, id := range trialViolations(faulted, m, affected[m.device], pre, violated) {
+			for _, id := range trialViolations(faulted, snap, m, affected[m.device], pre, violated) {
 				violated[id] = true
 			}
 		}
@@ -517,7 +530,7 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 				seen[id] = true
 			}
 			mu.Unlock()
-			ids := trialViolations(faulted, m, affected[m.device], pre, seen)
+			ids := trialViolations(faulted, snap, m, affected[m.device], pre, seen)
 			if len(ids) == 0 {
 				return
 			}
@@ -535,13 +548,20 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 	return len(violated)
 }
 
-// trialViolations applies one mutation to a clone of the faulted network
-// and returns the IDs of in-scope policies it newly violates. Policies in
-// pre (already violated before the mutation) or skip (already proven
-// violable by an earlier trial) are not rechecked; when none remain the
-// clone and dataplane recompute are skipped entirely.
-func trialViolations(faulted *netmodel.Network, m mutation, scope []verify.Policy,
-	pre, skip map[string]bool) []string {
+// trialViolations applies one mutation to a copy-on-write clone of the
+// faulted network and returns the IDs of in-scope policies it newly
+// violates. Policies in pre (already violated before the mutation) or skip
+// (already proven violable by an earlier trial) are not rechecked; when
+// none remain the clone and snapshot derivation are skipped entirely.
+//
+// This is the sweep's hot path, and where the incremental machinery pays
+// off: CloneCOW deep-copies only the mutated device, and Derive reuses
+// every part of the faulted snapshot the mutation class cannot invalidate
+// (an ACL trial recomputes nothing at all; a static-route trial rebuilds
+// one RIB). The derived snapshot is byte-identical to a from-scratch
+// Compute, so VP counts are exactly those of the old clone-everything loop.
+func trialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot, m mutation,
+	scope []verify.Policy, pre, skip map[string]bool) []string {
 
 	todo := make([]verify.Policy, 0, len(scope))
 	for _, p := range scope {
@@ -552,9 +572,9 @@ func trialViolations(faulted *netmodel.Network, m mutation, scope []verify.Polic
 	if len(todo) == 0 {
 		return nil
 	}
-	trial := faulted.Clone()
+	trial := faulted.CloneCOW(m.device)
 	m.apply(trial)
-	tsnap := dataplane.Compute(trial)
+	tsnap := snap.Derive(trial, dataplane.ChangeSet{{Device: m.device, Kind: m.kind}})
 	var out []string
 	for _, p := range todo {
 		if verify.CheckPolicy(tsnap, p) != nil {
@@ -575,6 +595,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.interface.set",
 			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
+			kind:     dataplane.ChangeTopology,
 			apply: func(n *netmodel.Network) {
 				if itf := n.Devices[dev].Interface(name); itf != nil {
 					itf.Shutdown = true
@@ -592,6 +613,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 			out = append(out, mutation{
 				action:   "config.acl.add",
 				resource: fmt.Sprintf("device:%s:acl:%s", dev, name),
+				kind:     dataplane.ChangeACL,
 				apply: func(n *netmodel.Network) {
 					n.Devices[dev].ACL(name, true).InsertEntry(netmodel.ACLEntry{
 						Seq: 1, Action: action, Proto: netmodel.AnyProto,
@@ -602,6 +624,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.acl.remove",
 			resource: fmt.Sprintf("device:%s:acl:%s", dev, name),
+			kind:     dataplane.ChangeACL,
 			apply: func(n *netmodel.Network) {
 				a := n.Devices[dev].ACL(name, false)
 				if a != nil && len(a.Entries) > 0 {
@@ -621,6 +644,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 			out = append(out, mutation{
 				action:   "config.route.add",
 				resource: fmt.Sprintf("device:%s:route:%s", dev, prefix),
+				kind:     dataplane.ChangeStatic,
 				apply: func(n *netmodel.Network) {
 					n.Devices[dev].StaticRoutes = append(n.Devices[dev].StaticRoutes,
 						netmodel.StaticRoute{Prefix: prefix, NextHop: blackhole})
@@ -634,6 +658,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.ospf.set",
 			resource: fmt.Sprintf("device:%s:ospf", dev),
+			kind:     dataplane.ChangeOSPF,
 			apply: func(n *netmodel.Network) {
 				dd := n.Devices[dev]
 				for _, ifName := range dd.InterfaceNames() {
@@ -649,6 +674,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.vlan.remove",
 			resource: fmt.Sprintf("device:%s:vlan:%d", dev, vid),
+			kind:     dataplane.ChangeTopology,
 			apply: func(n *netmodel.Network) {
 				delete(n.Devices[dev].VLANs, vid)
 			},
@@ -663,6 +689,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.interface.set",
 			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
+			kind:     dataplane.ChangeTopology,
 			apply: func(n *netmodel.Network) {
 				n.Devices[dev].Interface(name).AccessVLAN = 999
 			},
@@ -674,6 +701,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.gateway.set",
 			resource: fmt.Sprintf("device:%s:gateway", dev),
+			kind:     dataplane.ChangeStatic,
 			apply: func(n *netmodel.Network) {
 				n.Devices[dev].DefaultGateway = netip.MustParseAddr("192.0.2.254")
 			},

@@ -171,17 +171,29 @@ func computeBGP(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
 		}
 	}
 
+	// Emit per-device routes in sorted prefix order: one best route exists
+	// per (device, prefix), so prefix order fully determines the slice.
+	// Determinism here is what lets a derived snapshot reproduce a
+	// from-scratch compute byte for byte.
 	out := make(map[string][]FIBEntry)
 	for dev, routes := range best {
+		entries := make([]FIBEntry, 0, len(routes))
 		for p, r := range routes {
 			if !r.nextHop.IsValid() {
 				continue // locally originated; covered by IGP/connected
 			}
-			out[dev] = append(out[dev], FIBEntry{
+			entries = append(entries, FIBEntry{
 				Prefix: p, Proto: BGP, NextHop: r.nextHop, OutIf: r.outIf,
 				AD: ebgpAdminDistance, Metric: len(r.asPath),
 			})
 		}
+		if len(entries) == 0 {
+			continue
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return entries[i].Prefix.String() < entries[j].Prefix.String()
+		})
+		out[dev] = entries
 	}
 	return out
 }

@@ -1,0 +1,150 @@
+package dataplane
+
+import (
+	"heimdall/internal/netmodel"
+)
+
+// ChangeKind classifies what a configuration change can affect, so Derive
+// knows which parts of a prior snapshot stay valid. The classification is
+// conservative: when in doubt, use ChangeTopology and pay a full recompute.
+type ChangeKind int
+
+const (
+	// ChangeACL covers access-list edits (entries added/removed/replaced,
+	// ACL bindings unchanged interfaces aside). ACLs gate TraceFrom only —
+	// they never influence adjacency, OSPF, BGP, or any RIB — so a derived
+	// snapshot reuses every computed structure.
+	ChangeACL ChangeKind = iota
+	// ChangeStatic covers static-route and host default-gateway edits on
+	// one device. Statics are not redistributed into any protocol, so only
+	// that device's RIB and FIB change.
+	ChangeStatic
+	// ChangeOSPF covers OSPF process edits (costs, passive interfaces,
+	// enabled networks, process removal). The link-state pass reads the L2
+	// adjacency but never feeds back into it, and nothing is redistributed
+	// between OSPF and BGP, so adjacency, BGP routes, and BGP sessions all
+	// stay valid; the OSPF pass reruns and every RIB is rebuilt.
+	ChangeOSPF
+	// ChangeBGP covers BGP process edits (neighbors, networks, AS changes,
+	// process removal). Sessions and routes rerun; adjacency and OSPF stay.
+	ChangeBGP
+	// ChangeTopology covers anything that can alter L2 adjacency or address
+	// ownership: interface state/addresses, VLANs, links. Everything is
+	// recomputed from scratch.
+	ChangeTopology
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeACL:
+		return "acl"
+	case ChangeStatic:
+		return "static"
+	case ChangeOSPF:
+		return "ospf"
+	case ChangeBGP:
+		return "bgp"
+	case ChangeTopology:
+		return "topology"
+	default:
+		return "unknown"
+	}
+}
+
+// Change names one mutated device and what class of state the mutation can
+// affect on it.
+type Change struct {
+	Device string
+	Kind   ChangeKind
+}
+
+// ChangeSet is the list of changes between the snapshot's network and the
+// network a derived snapshot is requested for.
+type ChangeSet []Change
+
+// Derive builds a snapshot of n by reusing every part of the receiver that
+// the change set provably cannot invalidate, recomputing only the rest.
+// n must be the receiver's network modified ONLY as described by changes
+// (typically a CloneCOW with the listed devices mutated); an undeclared
+// change silently yields a wrong snapshot. The derived snapshot is
+// byte-identical to ComputeWithOptions(n, s.opts) — the TestDeriveMatchesCompute
+// oracle pins this for every change class — and always starts with a fresh
+// flow cache, since memoized traces from the old network would be stale.
+//
+// Reuse per class (see ChangeKind docs for the exactness argument):
+//
+//	ACL      → everything shared (adjacency, sessions, OSPF, BGP, RIBs, FIBs)
+//	Static   → shared except the changed devices' RIBs+FIBs
+//	OSPF     → adjacency, sessions, BGP shared; OSPF pass rerun, RIBs rebuilt
+//	BGP      → adjacency, OSPF shared; sessions+BGP rerun, RIBs rebuilt
+//	Topology → full ComputeWithOptions fallback
+func (s *Snapshot) Derive(n *netmodel.Network, changes ChangeSet) *Snapshot {
+	kinds := [5]bool{}
+	var staticDevs []string
+	for _, c := range changes {
+		kinds[c.Kind] = true
+		if c.Kind == ChangeStatic {
+			staticDevs = append(staticDevs, c.Device)
+		}
+	}
+
+	// Anything touching L2 adjacency or address ownership invalidates the
+	// whole snapshot: fall back to a from-scratch compute.
+	if kinds[ChangeTopology] {
+		return ComputeWithOptions(n, s.opts)
+	}
+
+	d := &Snapshot{
+		net:        n,
+		adj:        s.adj,
+		sessions:   s.sessions,
+		opts:       s.opts,
+		ospfRoutes: s.ospfRoutes,
+		bgpRoutes:  s.bgpRoutes,
+		owner:      s.owner,
+		flows:      newFlowCache(s.opts.Meter),
+	}
+
+	switch {
+	case kinds[ChangeOSPF] || kinds[ChangeBGP]:
+		// Protocol-level change: rerun the affected protocol pass(es) over
+		// the unchanged adjacency, then rebuild every RIB (any device may
+		// have learned or lost routes).
+		if kinds[ChangeOSPF] {
+			d.ospfRoutes = computeOSPF(n, s.adj)
+		}
+		if kinds[ChangeBGP] {
+			d.sessions = bgpSessions(n, s.adj)
+			d.bgpRoutes = computeBGP(n, s.adj)
+		}
+		d.ribs, d.fibs = buildRIBs(n, n.DeviceNames(), s.adj, d.ospfRoutes, d.bgpRoutes)
+
+	case kinds[ChangeStatic]:
+		// Statics never leave their device: rebuild only the changed
+		// devices' RIBs+FIBs, sharing all others via copied maps.
+		d.ribs = make(map[string][]FIBEntry, len(s.ribs))
+		d.fibs = make(map[string]*LPM, len(s.fibs))
+		for dev, rib := range s.ribs {
+			d.ribs[dev] = rib
+		}
+		for dev, fib := range s.fibs {
+			d.fibs[dev] = fib
+		}
+		for _, dev := range staticDevs {
+			if n.Devices[dev] == nil {
+				continue
+			}
+			rib := ribFor(n, dev, s.adj, s.ospfRoutes, s.bgpRoutes)
+			d.ribs[dev] = rib
+			d.fibs[dev] = fibFrom(rib)
+		}
+
+	default:
+		// ACL-only (or empty) change set: ACLs gate TraceFrom, not routing.
+		// Share the RIB and FIB maps outright; only the flow cache is new.
+		d.ribs = s.ribs
+		d.fibs = s.fibs
+	}
+	return d
+}

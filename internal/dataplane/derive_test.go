@@ -1,0 +1,318 @@
+package dataplane_test
+
+// The Derive oracle: for every mutation class on both evaluation scenarios,
+// a derived snapshot must be byte-identical to a from-scratch Compute of
+// the mutated network. This is the correctness anchor of the incremental
+// sweep — if Derive ever diverges, the attack-surface numbers silently rot.
+// (The test lives in an external package so it can import scenarios, which
+// itself imports dataplane.)
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/scenarios"
+)
+
+// deriveCase is one mutation class applied to one device of a scenario.
+type deriveCase struct {
+	name   string
+	kind   dataplane.ChangeKind
+	device func(n *netmodel.Network) string
+	apply  func(d *netmodel.Device)
+}
+
+// firstUpIf returns the device's first up, addressed interface.
+func firstUpIf(d *netmodel.Device) string {
+	for _, ifName := range d.InterfaceNames() {
+		if itf := d.Interfaces[ifName]; itf.Up() && itf.HasAddr() {
+			return ifName
+		}
+	}
+	return ""
+}
+
+// aclDevice finds a device that already carries an ACL.
+func aclDevice(n *netmodel.Network) string {
+	for _, dev := range n.RoutersAndSwitches() {
+		if len(n.Devices[dev].ACLNames()) > 0 {
+			return dev
+		}
+	}
+	return ""
+}
+
+// ospfDevice finds a router running OSPF.
+func ospfDevice(n *netmodel.Network) string {
+	for _, dev := range n.RoutersAndSwitches() {
+		d := n.Devices[dev]
+		if d.Kind == netmodel.Router && d.OSPF != nil {
+			return dev
+		}
+	}
+	return ""
+}
+
+func router(name string) func(n *netmodel.Network) string {
+	return func(n *netmodel.Network) string { return name }
+}
+
+func deriveCases() []deriveCase {
+	blackhole := netip.MustParseAddr("192.0.2.254")
+	return []deriveCase{
+		{
+			name:   "acl-insert-deny",
+			kind:   dataplane.ChangeACL,
+			device: aclDevice,
+			apply: func(d *netmodel.Device) {
+				name := d.ACLNames()[0]
+				d.ACL(name, true).InsertEntry(netmodel.ACLEntry{
+					Seq: 1, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+				})
+			},
+		},
+		{
+			name:   "acl-remove-first-entry",
+			kind:   dataplane.ChangeACL,
+			device: aclDevice,
+			apply: func(d *netmodel.Device) {
+				a := d.ACL(d.ACLNames()[0], false)
+				if len(a.Entries) > 0 {
+					a.RemoveEntry(a.Entries[0].Seq)
+				}
+			},
+		},
+		{
+			name:   "static-blackhole-default",
+			kind:   dataplane.ChangeStatic,
+			device: router("r2"),
+			apply: func(d *netmodel.Device) {
+				// Next hop on a connected subnet that no device owns: the
+				// route activates and blackholes matching traffic.
+				itf := d.Interfaces[firstUpIf(d)]
+				base := itf.Addr.Masked().Addr().As4()
+				nh := netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + 2})
+				d.StaticRoutes = append(d.StaticRoutes,
+					netmodel.StaticRoute{Prefix: netip.MustParsePrefix("0.0.0.0/0"), NextHop: nh})
+			},
+		},
+		{
+			name:   "static-remove-all",
+			kind:   dataplane.ChangeStatic,
+			device: router("r2"),
+			apply:  func(d *netmodel.Device) { d.StaticRoutes = nil },
+		},
+		{
+			name: "host-gateway-rewrite",
+			kind: dataplane.ChangeStatic,
+			device: func(n *netmodel.Network) string {
+				return n.Hosts()[0]
+			},
+			apply: func(d *netmodel.Device) { d.DefaultGateway = blackhole },
+		},
+		{
+			name:   "ospf-cost-bump",
+			kind:   dataplane.ChangeOSPF,
+			device: ospfDevice,
+			apply: func(d *netmodel.Device) {
+				d.Interfaces[firstUpIf(d)].OSPFCost = 7
+			},
+		},
+		{
+			name:   "ospf-silence-all-passive",
+			kind:   dataplane.ChangeOSPF,
+			device: ospfDevice,
+			apply: func(d *netmodel.Device) {
+				for _, ifName := range d.InterfaceNames() {
+					d.OSPF.Passive[ifName] = true
+				}
+			},
+		},
+		{
+			name:   "ospf-process-removal",
+			kind:   dataplane.ChangeOSPF,
+			device: ospfDevice,
+			apply:  func(d *netmodel.Device) { d.OSPF = nil },
+		},
+		{
+			name:   "interface-down",
+			kind:   dataplane.ChangeTopology,
+			device: router("r2"),
+			apply: func(d *netmodel.Device) {
+				d.Interfaces[firstUpIf(d)].Shutdown = true
+			},
+		},
+	}
+}
+
+// assertSnapshotsEqual compares two snapshots of the same network through
+// every observable surface: per-device RIBs (structural and rendered), and
+// the trace of every host pair for ICMP and TCP/80 (exercising FIB lookups,
+// ACL gates, and the address index).
+func assertSnapshotsEqual(t *testing.T, n *netmodel.Network, got, want *dataplane.Snapshot) {
+	t.Helper()
+	for _, dev := range n.DeviceNames() {
+		if !reflect.DeepEqual(got.RIB(dev), want.RIB(dev)) {
+			t.Errorf("%s RIB diverged:\nderived:\n%s\nfull:\n%s",
+				dev, got.FormatRIB(dev), want.FormatRIB(dev))
+		}
+		if g, w := got.FormatRIB(dev), want.FormatRIB(dev); g != w {
+			t.Errorf("%s FormatRIB diverged:\nderived:\n%s\nfull:\n%s", dev, g, w)
+		}
+	}
+	hosts := n.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			for _, probe := range []struct {
+				proto netmodel.Protocol
+				port  uint16
+			}{{netmodel.ICMP, 0}, {netmodel.TCP, 80}} {
+				g, gerr := got.Reach(src, dst, probe.proto, probe.port)
+				w, werr := want.Reach(src, dst, probe.proto, probe.port)
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("%s->%s errors diverged: %v vs %v", src, dst, gerr, werr)
+				}
+				if !reflect.DeepEqual(g, w) {
+					t.Errorf("%s->%s %s trace diverged:\nderived: %s\nfull:    %s",
+						src, dst, probe.proto, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveMatchesCompute is the oracle: Derive must reproduce a
+// from-scratch Compute for every mutation class on both scenarios.
+func TestDeriveMatchesCompute(t *testing.T) {
+	for _, scen := range []*scenarios.Scenario{scenarios.Enterprise(), scenarios.University()} {
+		base := scen.Network
+		snap := dataplane.Compute(base)
+		baseline := make(map[string]string, len(base.Devices))
+		for _, dev := range base.DeviceNames() {
+			baseline[dev] = snap.FormatRIB(dev)
+		}
+		for _, tc := range deriveCases() {
+			t.Run(scen.Name+"/"+tc.name, func(t *testing.T) {
+				dev := tc.device(base)
+				if dev == "" {
+					t.Fatalf("no eligible device in %s", scen.Name)
+				}
+				mutated := base.CloneCOW(dev)
+				tc.apply(mutated.Devices[dev])
+				derived := snap.Derive(mutated, dataplane.ChangeSet{{Device: dev, Kind: tc.kind}})
+				full := dataplane.Compute(mutated)
+				assertSnapshotsEqual(t, mutated, derived, full)
+			})
+		}
+		// The base network and snapshot must come through the whole sweep
+		// untouched: trials write only their COW-cloned device.
+		for _, dev := range base.DeviceNames() {
+			if snap.FormatRIB(dev) != baseline[dev] {
+				t.Fatalf("%s: base snapshot corrupted at %s", scen.Name, dev)
+			}
+		}
+		if fresh := dataplane.Compute(base); !reflect.DeepEqual(fresh.RIB("r2"), snap.RIB("r2")) {
+			t.Fatalf("%s: base network mutated by the sweep", scen.Name)
+		}
+	}
+}
+
+// TestDeriveConcurrent derives many snapshots from one base concurrently —
+// the sweep's access pattern — and checks each against a full compute.
+// Run with -race this pins the share-read-only discipline of CloneCOW and
+// Derive.
+func TestDeriveConcurrent(t *testing.T) {
+	scen := scenarios.Enterprise()
+	base := scen.Network
+	snap := dataplane.Compute(base)
+	cases := deriveCases()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases)*4)
+	for round := 0; round < 4; round++ {
+		for _, tc := range cases {
+			tc := tc
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dev := tc.device(base)
+				mutated := base.CloneCOW(dev)
+				tc.apply(mutated.Devices[dev])
+				derived := snap.Derive(mutated, dataplane.ChangeSet{{Device: dev, Kind: tc.kind}})
+				full := dataplane.Compute(mutated)
+				hosts := mutated.Hosts()
+				src, dst := hosts[0], hosts[len(hosts)-1]
+				g, _ := derived.Reach(src, dst, netmodel.ICMP, 0)
+				w, _ := full.Reach(src, dst, netmodel.ICMP, 0)
+				if !reflect.DeepEqual(g, w) {
+					errs <- fmt.Errorf("%s: %s->%s diverged: %s vs %s", tc.name, src, dst, g, w)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDeriveMultiChange exercises change sets naming several devices and
+// mixed classes (the enforcer's shape: one review may touch ACLs on one
+// device and statics on another).
+func TestDeriveMultiChange(t *testing.T) {
+	scen := scenarios.University()
+	base := scen.Network
+	snap := dataplane.Compute(base)
+
+	aclDev := aclDevice(base)
+	mutated := base.CloneCOW(aclDev, "r3", "r5")
+	mutated.Devices[aclDev].ACL(mutated.Devices[aclDev].ACLNames()[0], true).
+		InsertEntry(netmodel.ACLEntry{Seq: 1, Action: netmodel.Deny, Proto: netmodel.AnyProto})
+	mutated.Devices["r3"].StaticRoutes = nil
+	mutated.Devices["r5"].StaticRoutes = nil
+
+	derived := snap.Derive(mutated, dataplane.ChangeSet{
+		{Device: aclDev, Kind: dataplane.ChangeACL},
+		{Device: "r3", Kind: dataplane.ChangeStatic},
+		{Device: "r5", Kind: dataplane.ChangeStatic},
+	})
+	assertSnapshotsEqual(t, mutated, derived, dataplane.Compute(mutated))
+}
+
+// TestDeriveFreshFlowCache pins that a derived snapshot never inherits the
+// parent's memoized traces: an ACL-only derivation shares every routing
+// structure, so a stale cache would be the one way it could lie.
+func TestDeriveFreshFlowCache(t *testing.T) {
+	scen := scenarios.Enterprise()
+	base := scen.Network
+	snap := dataplane.Compute(base)
+	hosts := base.Hosts()
+	if _, err := snap.Reach(hosts[0], hosts[1], netmodel.ICMP, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	dev := aclDevice(base)
+	mutated := base.CloneCOW(dev)
+	d := mutated.Devices[dev]
+	d.ACL(d.ACLNames()[0], true).InsertEntry(netmodel.ACLEntry{
+		Seq: 1, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+	})
+	derived := snap.Derive(mutated, dataplane.ChangeSet{{Device: dev, Kind: dataplane.ChangeACL}})
+	if hits, misses := derived.FlowCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("derived snapshot inherited flow cache state: hits=%d misses=%d", hits, misses)
+	}
+	if _, err := derived.Reach(hosts[0], hosts[1], netmodel.ICMP, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := derived.FlowCacheStats(); misses != 1 {
+		t.Fatalf("derived snapshot did not trace fresh: misses=%d", misses)
+	}
+}

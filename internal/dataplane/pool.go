@@ -1,0 +1,41 @@
+package dataplane
+
+import (
+	"runtime"
+	"sync"
+)
+
+// fanOut runs fn(0..n-1) over a bounded worker pool and returns when every
+// call has finished. Each index is processed exactly once; callers get
+// determinism by writing into index-addressed slots and merging in index
+// order afterwards (the PR 2 sweep idiom). With one usable CPU — or a single
+// item — it degrades to a plain serial loop, avoiding goroutine overhead on
+// the common single-core CI container.
+func fanOut(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

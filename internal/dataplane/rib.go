@@ -150,16 +150,38 @@ func bestPaths(entries []FIBEntry) []FIBEntry {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prefix != out[j].Prefix {
-			return out[i].Prefix.String() < out[j].Prefix.String()
-		}
-		if out[i].NextHop != out[j].NextHop {
-			return out[i].NextHop.Less(out[j].NextHop)
-		}
-		return out[i].OutIf < out[j].OutIf
-	})
+	// The lexical prefix-string order is load-bearing: entries[0] is the
+	// default ECMP selection, so the comparator must reproduce it exactly.
+	// Stringify each entry's prefix once instead of O(n log n) times —
+	// distinct prefixes always render distinct strings, so comparing the
+	// cached keys is the same order the old comparator produced.
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Prefix.String()
+	}
+	sort.Sort(&ribOrder{entries: out, keys: keys})
 	return out
+}
+
+// ribOrder sorts FIB entries with their cached prefix-string sort keys.
+type ribOrder struct {
+	entries []FIBEntry
+	keys    []string
+}
+
+func (r *ribOrder) Len() int { return len(r.entries) }
+func (r *ribOrder) Swap(i, j int) {
+	r.entries[i], r.entries[j] = r.entries[j], r.entries[i]
+	r.keys[i], r.keys[j] = r.keys[j], r.keys[i]
+}
+func (r *ribOrder) Less(i, j int) bool {
+	if r.keys[i] != r.keys[j] {
+		return r.keys[i] < r.keys[j]
+	}
+	if r.entries[i].NextHop != r.entries[j].NextHop {
+		return r.entries[i].NextHop.Less(r.entries[j].NextHop)
+	}
+	return r.entries[i].OutIf < r.entries[j].OutIf
 }
 
 // ospfInterface describes one OSPF-participating interface.
@@ -211,13 +233,7 @@ func computeOSPF(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
 	}
 
 	// Build the router graph: edge dev->dev via (localIf, peerAddr).
-	type edge struct {
-		peer     string
-		localIf  string
-		peerAddr netip.Addr
-		cost     int
-	}
-	graph := make(map[string][]edge)
+	graph := make(map[string][]ospfEdge)
 	for ep, oi := range participants {
 		if oi.passive {
 			continue
@@ -237,7 +253,7 @@ func computeOSPF(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
 			if !oi.addr.Masked().Contains(po.addr.Addr()) {
 				continue // different subnets cannot peer
 			}
-			graph[oi.dev] = append(graph[oi.dev], edge{
+			graph[oi.dev] = append(graph[oi.dev], ospfEdge{
 				peer: po.dev, localIf: oi.name, peerAddr: po.addr.Addr(), cost: cost,
 			})
 		}
@@ -254,91 +270,145 @@ func computeOSPF(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
 
 	// Per-source weighted Dijkstra with equal-cost multipath: settle nodes
 	// in nondecreasing distance order, merging first-hop sets on ties.
-	out := make(map[string][]FIBEntry)
+	// Sources are independent given the (now read-only) graph and
+	// advertisement maps, so they fan out over a bounded pool; each source
+	// writes its routes into an index-addressed slot and the merge walks
+	// slots in sorted-source order, so the result is identical to a serial
+	// run. Route emission is sorted (prefix string, then hop), making the
+	// per-device route slices deterministic — Derive relies on this to
+	// reproduce a from-scratch Compute byte for byte.
+	sources := make([]string, 0, len(routers))
 	for src := range routers {
-		type hop struct {
-			outIf string
-			via   netip.Addr
+		sources = append(sources, src)
+	}
+	sort.Strings(sources)
+	slots := make([][]FIBEntry, len(sources))
+	fanOut(len(sources), func(i int) {
+		slots[i] = ospfRoutesFrom(sources[i], graph, advertised)
+	})
+	out := make(map[string][]FIBEntry, len(sources))
+	for i, src := range sources {
+		if len(slots[i]) > 0 {
+			out[src] = slots[i]
 		}
-		dist := map[string]int{src: 0}
-		firstHops := make(map[string]map[hop]bool)
-		settled := make(map[string]bool)
-		for {
-			// Select the unsettled node with the smallest distance,
-			// deterministically tie-broken by name (graphs are tiny, so
-			// linear selection beats a heap here).
-			cur, best := "", -1
-			for name, d := range dist {
-				if settled[name] {
-					continue
-				}
-				if best < 0 || d < best || (d == best && name < cur) {
-					cur, best = name, d
-				}
-			}
-			if cur == "" {
-				break
-			}
-			settled[cur] = true
-			edges := append([]edge(nil), graph[cur]...)
-			sort.Slice(edges, func(i, j int) bool { return edges[i].peer < edges[j].peer })
-			for _, e := range edges {
-				nd := dist[cur] + e.cost
-				old, seen := dist[e.peer]
-				switch {
-				case !seen || nd < old:
-					dist[e.peer] = nd
-					firstHops[e.peer] = make(map[hop]bool)
-				case nd > old:
-					continue
-				}
-				// Propagate first hops for equal-or-new best paths.
-				if cur == src {
-					firstHops[e.peer][hop{e.localIf, e.peerAddr}] = true
-				} else {
-					for h := range firstHops[cur] {
-						firstHops[e.peer][h] = true
-					}
-				}
-			}
-		}
+	}
+	return out
+}
 
-		// Routes to every remote advertised prefix.
-		local := advertised[src]
-		routes := make(map[netip.Prefix]map[hop]int)
-		for dst, hops := range firstHops {
-			for p := range advertised[dst] {
-				if local[p] {
-					continue // connected beats OSPF anyway
-				}
-				for h := range hops {
-					cur, ok := routes[p]
-					if !ok {
-						cur = make(map[hop]int)
-						routes[p] = cur
-					}
-					if old, seen := cur[h]; !seen || dist[dst] < old {
-						cur[h] = dist[dst]
-					}
+// ospfHop is one candidate first hop toward a destination.
+type ospfHop struct {
+	outIf string
+	via   netip.Addr
+}
+
+// ospfEdge is one adjacency edge of the OSPF router graph.
+type ospfEdge struct {
+	peer     string
+	localIf  string
+	peerAddr netip.Addr
+	cost     int
+}
+
+// ospfRoutesFrom runs the single-source Dijkstra and returns the source
+// router's OSPF routes in deterministic (prefix string, hop) order.
+func ospfRoutesFrom(src string, graph map[string][]ospfEdge, advertised map[string]map[netip.Prefix]bool) []FIBEntry {
+	type hop = ospfHop
+	dist := map[string]int{src: 0}
+	firstHops := make(map[string]map[hop]bool)
+	settled := make(map[string]bool)
+	for {
+		// Select the unsettled node with the smallest distance,
+		// deterministically tie-broken by name (graphs are tiny, so
+		// linear selection beats a heap here).
+		cur, best := "", -1
+		for name, d := range dist {
+			if settled[name] {
+				continue
+			}
+			if best < 0 || d < best || (d == best && name < cur) {
+				cur, best = name, d
+			}
+		}
+		if cur == "" {
+			break
+		}
+		settled[cur] = true
+		edges := append([]ospfEdge(nil), graph[cur]...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].peer < edges[j].peer })
+		for _, e := range edges {
+			nd := dist[cur] + e.cost
+			old, seen := dist[e.peer]
+			switch {
+			case !seen || nd < old:
+				dist[e.peer] = nd
+				firstHops[e.peer] = make(map[hop]bool)
+			case nd > old:
+				continue
+			}
+			// Propagate first hops for equal-or-new best paths.
+			if cur == src {
+				firstHops[e.peer][hop{e.localIf, e.peerAddr}] = true
+			} else {
+				for h := range firstHops[cur] {
+					firstHops[e.peer][h] = true
 				}
 			}
 		}
-		for p, hops := range routes {
-			best := 1 << 30
-			for _, m := range hops {
-				if m < best {
-					best = m
+	}
+
+	// Routes to every remote advertised prefix.
+	local := advertised[src]
+	routes := make(map[netip.Prefix]map[hop]int)
+	for dst, hops := range firstHops {
+		for p := range advertised[dst] {
+			if local[p] {
+				continue // connected beats OSPF anyway
+			}
+			for h := range hops {
+				cur, ok := routes[p]
+				if !ok {
+					cur = make(map[hop]int)
+					routes[p] = cur
+				}
+				if old, seen := cur[h]; !seen || dist[dst] < old {
+					cur[h] = dist[dst]
 				}
 			}
-			for h, m := range hops {
-				if m != best {
-					continue
-				}
-				out[src] = append(out[src], FIBEntry{
-					Prefix: p, Proto: OSPF, NextHop: h.via, OutIf: h.outIf,
-					AD: OSPF.adminDistance(), Metric: m,
-				})
+		}
+	}
+
+	// Emit best equal-cost hops per prefix in sorted order.
+	prefixes := make([]netip.Prefix, 0, len(routes))
+	for p := range routes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+	var out []FIBEntry
+	for _, p := range prefixes {
+		hops := routes[p]
+		best := 1 << 30
+		for _, m := range hops {
+			if m < best {
+				best = m
 			}
+		}
+		keep := make([]hop, 0, len(hops))
+		for h, m := range hops {
+			if m == best {
+				keep = append(keep, h)
+			}
+		}
+		sort.Slice(keep, func(i, j int) bool {
+			if keep[i].via != keep[j].via {
+				return keep[i].via.Less(keep[j].via)
+			}
+			return keep[i].outIf < keep[j].outIf
+		})
+		for _, h := range keep {
+			out = append(out, FIBEntry{
+				Prefix: p, Proto: OSPF, NextHop: h.via, OutIf: h.outIf,
+				AD: OSPF.adminDistance(), Metric: best,
+			})
 		}
 	}
 	return out

@@ -57,6 +57,12 @@ type Snapshot struct {
 	fibs     map[string]*LPM
 	sessions []bgpSession
 	opts     Options
+	// ospfRoutes and bgpRoutes are the raw per-device protocol routes the
+	// RIBs were built from, retained so Derive can rebuild a single
+	// device's RIB (or rerun a single protocol pass) without recomputing
+	// the rest.
+	ospfRoutes map[string][]FIBEntry
+	bgpRoutes  map[string][]FIBEntry
 	// owner maps every up interface address to its endpoint.
 	owner map[netip.Addr]netmodel.Endpoint
 	// flows memoizes Reach results (per snapshot, concurrency-safe).
@@ -73,37 +79,70 @@ func ComputeWithOptions(n *netmodel.Network, opts Options) *Snapshot {
 	ospfRoutes := computeOSPF(n, adj)
 	bgpRoutes := computeBGP(n, adj)
 	s := &Snapshot{
-		net:      n,
-		adj:      adj,
-		ribs:     make(map[string][]FIBEntry),
-		fibs:     make(map[string]*LPM),
-		sessions: bgpSessions(n, adj),
-		opts:     opts,
-		owner:    make(map[netip.Addr]netmodel.Endpoint),
-		flows:    newFlowCache(opts.Meter),
+		net:        n,
+		adj:        adj,
+		sessions:   bgpSessions(n, adj),
+		opts:       opts,
+		ospfRoutes: ospfRoutes,
+		bgpRoutes:  bgpRoutes,
+		owner:      buildOwner(n),
+		flows:      newFlowCache(opts.Meter),
 	}
-	for _, dev := range n.DeviceNames() {
-		rib := ribFor(n, dev, adj, ospfRoutes, bgpRoutes)
-		s.ribs[dev] = rib
-		fib := &LPM{}
-		byPrefix := make(map[netip.Prefix][]FIBEntry)
-		for _, e := range rib {
-			byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
-		}
-		for p, entries := range byPrefix {
-			fib.Insert(p, entries)
-		}
-		s.fibs[dev] = fib
+	s.ribs, s.fibs = buildRIBs(n, n.DeviceNames(), adj, ospfRoutes, bgpRoutes)
+	return s
+}
 
+// buildRIBs computes the RIB and FIB of every named device. Devices are
+// independent given the shared (read-only) adjacency and protocol routes,
+// so the builds fan out over a bounded pool; results land in
+// index-addressed slots, making the maps identical to a serial build.
+func buildRIBs(n *netmodel.Network, devs []string, adj adjacency,
+	ospfRoutes, bgpRoutes map[string][]FIBEntry) (map[string][]FIBEntry, map[string]*LPM) {
+
+	type slot struct {
+		rib []FIBEntry
+		fib *LPM
+	}
+	slots := make([]slot, len(devs))
+	fanOut(len(devs), func(i int) {
+		rib := ribFor(n, devs[i], adj, ospfRoutes, bgpRoutes)
+		slots[i] = slot{rib: rib, fib: fibFrom(rib)}
+	})
+	ribs := make(map[string][]FIBEntry, len(devs))
+	fibs := make(map[string]*LPM, len(devs))
+	for i, dev := range devs {
+		ribs[dev] = slots[i].rib
+		fibs[dev] = slots[i].fib
+	}
+	return ribs, fibs
+}
+
+// fibFrom builds the longest-prefix-match table for one device's RIB.
+func fibFrom(rib []FIBEntry) *LPM {
+	fib := &LPM{}
+	byPrefix := make(map[netip.Prefix][]FIBEntry)
+	for _, e := range rib {
+		byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
+	}
+	for p, entries := range byPrefix {
+		fib.Insert(p, entries)
+	}
+	return fib
+}
+
+// buildOwner indexes every L3 endpoint address to its owning endpoint.
+func buildOwner(n *netmodel.Network) map[netip.Addr]netmodel.Endpoint {
+	owner := make(map[netip.Addr]netmodel.Endpoint)
+	for _, dev := range n.DeviceNames() {
 		d := n.Devices[dev]
 		for _, ifName := range d.InterfaceNames() {
 			itf := d.Interfaces[ifName]
 			if l3Endpoint(itf) {
-				s.owner[itf.Addr.Addr()] = netmodel.Endpoint{Device: dev, Interface: ifName}
+				owner[itf.Addr.Addr()] = netmodel.Endpoint{Device: dev, Interface: ifName}
 			}
 		}
 	}
-	return s
+	return owner
 }
 
 // RIB returns the device's routing table (best paths, sorted).
@@ -227,10 +266,13 @@ func flowHash(f Flow) uint32 {
 // hop-by-hop trace. The source device is usually the host owning f.Src, but
 // any device can originate (used by the console's ping command).
 func (s *Snapshot) TraceFrom(src string, f Flow) *Trace {
-	t := &Trace{Flow: f}
+	t := &Trace{Flow: f, Hops: make([]Hop, 0, 8)}
 	cur := src
 	inIf := ""
-	visited := make(map[string]int)
+	// Loop detection state: a plain slice scanned linearly beats a map
+	// here — the hop budget is 64 and real paths are a handful of hops,
+	// so the scan is a few pointer compares with no hashing or allocation.
+	visited := make([]string, 0, 8)
 	for hop := 0; hop < maxHops; hop++ {
 		d := s.net.Devices[cur]
 		if d == nil {
@@ -265,13 +307,15 @@ func (s *Snapshot) TraceFrom(src string, f Flow) *Trace {
 
 		// Loop detection: forwarding depends only on the destination, so
 		// revisiting a device means the packet is caught in a loop.
-		if visited[cur] > 0 {
-			t.Hops = append(t.Hops, Hop{Device: cur, InIf: inIf})
-			t.Disposition = DropLoop
-			t.Where = cur
-			return t
+		for _, v := range visited {
+			if v == cur {
+				t.Hops = append(t.Hops, Hop{Device: cur, InIf: inIf})
+				t.Disposition = DropLoop
+				t.Where = cur
+				return t
+			}
 		}
-		visited[cur]++
+		visited = append(visited, cur)
 
 		// Route lookup.
 		entries, ok := s.fibs[cur].Lookup(f.Dst)

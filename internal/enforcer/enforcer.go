@@ -158,8 +158,20 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 		return d
 	}
 
-	// Policy verification on a shadow copy.
-	shadow := prod.Clone()
+	// Policy verification on a shadow copy. The shadow is copy-on-write:
+	// only the devices the change set names are cloned (ApplyChanges never
+	// creates devices and only writes the named ones), the rest are shared
+	// read-only with production.
+	touched := make(map[string]bool)
+	for _, c := range changes {
+		touched[c.Device] = true
+	}
+	touchedList := make([]string, 0, len(touched))
+	for dev := range touched {
+		touchedList = append(touchedList, dev)
+	}
+	sort.Strings(touchedList)
+	shadow := prod.CloneCOW(touchedList...)
 	if err := config.ApplyChanges(shadow, changes); err != nil {
 		d.Violations = append(d.Violations, verify.Violation{
 			Reason: fmt.Sprintf("changes do not apply cleanly: %v", err),
@@ -176,19 +188,26 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	snapOpts := dataplane.Options{Meter: e.meter}
 	var prodSnap *dataplane.Snapshot
 	policies := e.policies
-	if e.Incremental {
-		touched := make(map[string]bool)
-		for _, c := range changes {
-			touched[c.Device] = true
-		}
+	if e.Incremental || e.ReportDeltas {
 		prodSnap = dataplane.ComputeWithOptions(prod, snapOpts)
+	}
+	if e.Incremental {
 		policies = verify.AffectedBy(prodSnap, e.policies, touched)
 	}
-	shadowSnap := dataplane.ComputeWithOptions(shadow, snapOpts)
-	if e.ReportDeltas {
-		if prodSnap == nil {
-			prodSnap = dataplane.ComputeWithOptions(prod, snapOpts)
+	// With a production snapshot in hand, the shadow snapshot derives from
+	// it — reusing everything the change set provably cannot invalidate —
+	// instead of recomputing the dataplane from scratch.
+	var shadowSnap *dataplane.Snapshot
+	if prodSnap != nil {
+		cs := make(dataplane.ChangeSet, 0, len(changes))
+		for _, c := range changes {
+			cs = append(cs, dataplane.Change{Device: c.Device, Kind: changeKindFor(c)})
 		}
+		shadowSnap = prodSnap.Derive(shadow, cs)
+	} else {
+		shadowSnap = dataplane.ComputeWithOptions(shadow, snapOpts)
+	}
+	if e.ReportDeltas {
 		d.Deltas = verify.DiffReachability(prodSnap, shadowSnap, shadow, nil)
 	}
 	verifyStart := time.Now()
@@ -203,6 +222,25 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 			len(changes), d.Checked, len(d.Violations)), d.Accepted)
 	e.countReview(d.Accepted)
 	return d
+}
+
+// changeKindFor maps a configuration op onto the dataplane change class it
+// can affect, for snapshot derivation. Interface and VLAN ops fall into the
+// conservative topology class (full recompute) because they can alter L2
+// adjacency or address ownership.
+func changeKindFor(c config.Change) dataplane.ChangeKind {
+	switch c.Op {
+	case config.OpAddACLEntry, config.OpRemoveACLEntry, config.OpRemoveACL:
+		return dataplane.ChangeACL
+	case config.OpAddStaticRoute, config.OpRemoveStaticRoute, config.OpSetGateway:
+		return dataplane.ChangeStatic
+	case config.OpSetOSPF, config.OpRemoveOSPF:
+		return dataplane.ChangeOSPF
+	case config.OpSetBGP, config.OpRemoveBGP:
+		return dataplane.ChangeBGP
+	default:
+		return dataplane.ChangeTopology
+	}
 }
 
 // countReview records one review outcome.

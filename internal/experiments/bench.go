@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/scenarios"
+	"heimdall/internal/verify"
+)
+
+// BenchReport is the machine-readable performance trajectory emitted by
+// `cmd/experiments -bench-json`. Each PR checks one in (BENCH_<n>.json) so
+// regressions and wins are chartable across the repo's history. Timings
+// are single-shot wall-clock measurements on whatever machine ran them —
+// coarse by design; the Go benchmarks are the precise instrument.
+type BenchReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Figure8SerialSeconds is the full enterprise sweep (mutation budget 0,
+	// one worker) — the acceptance-criteria headline.
+	Figure8SerialSeconds float64 `json:"figure8_serial_seconds"`
+	// Figure9BoundedSeconds is the university sweep at mutation budget 8
+	// (the CI-sized search; the full search is minutes).
+	Figure9BoundedSeconds float64 `json:"figure9_bounded_seconds"`
+
+	// SnapshotComputeMs is the full dataplane computation per scenario.
+	SnapshotComputeMs map[string]float64 `json:"snapshot_compute_ms"`
+
+	// Per-trial cost at university scale, nanoseconds per operation:
+	// a full Clone+Compute versus Derive per change class.
+	FullComputeNsOp   float64 `json:"full_compute_ns_op"`
+	DeriveStaticNsOp  float64 `json:"derive_static_ns_op"`
+	DeriveACLNsOp     float64 `json:"derive_acl_ns_op"`
+	DeriveOSPFNsOp    float64 `json:"derive_ospf_ns_op"`
+	DeriveStaticSpeed float64 `json:"derive_static_speedup"`
+	DeriveACLSpeed    float64 `json:"derive_acl_speedup"`
+
+	// FlowCacheHitRate is hits/(hits+misses) over two consecutive full
+	// policy verifications on one university snapshot (the warm-verify
+	// pattern AffectedBy leans on).
+	FlowCacheHitRate float64 `json:"flowcache_hit_rate"`
+}
+
+// timeIt runs fn count times and returns mean ns/op.
+func timeIt(count int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(count)
+}
+
+// RunBench measures the report's metrics. It takes tens of seconds — the
+// Figure 8 sweep runs in full.
+func RunBench() BenchReport {
+	r := BenchReport{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		SnapshotComputeMs: make(map[string]float64),
+	}
+
+	ent, uni := scenarios.Enterprise(), scenarios.University()
+
+	start := time.Now()
+	Figure89(ent, 0, 1)
+	r.Figure8SerialSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	Figure89(uni, 8, 1)
+	r.Figure9BoundedSeconds = time.Since(start).Seconds()
+
+	for _, scen := range []*scenarios.Scenario{ent, uni} {
+		scen := scen
+		r.SnapshotComputeMs[scen.Name] = timeIt(20, func() {
+			dataplane.Compute(scen.Network)
+		}) / 1e6
+	}
+
+	// Per-trial derive vs full compute, university scale (the Figure 9
+	// inner loop). Mutations mirror BenchmarkDerive.
+	base := uni.Network
+	snap := dataplane.Compute(base)
+	blackhole := netip.MustParseAddr("10.200.0.3")
+	addStatic := func(n *netmodel.Network) {
+		n.Devices["r2"].StaticRoutes = append(n.Devices["r2"].StaticRoutes,
+			netmodel.StaticRoute{Prefix: netip.MustParsePrefix("10.5.0.0/24"), NextHop: blackhole})
+	}
+	r.FullComputeNsOp = timeIt(20, func() {
+		trial := base.Clone()
+		addStatic(trial)
+		dataplane.Compute(trial)
+	})
+	r.DeriveStaticNsOp = timeIt(200, func() {
+		trial := base.CloneCOW("r2")
+		addStatic(trial)
+		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeStatic}})
+	})
+	r.DeriveACLNsOp = timeIt(1000, func() {
+		trial := base.CloneCOW("r2")
+		d := trial.Devices["r2"]
+		d.ACL(d.ACLNames()[0], true).InsertEntry(netmodel.ACLEntry{
+			Seq: 1, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		})
+		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeACL}})
+	})
+	r.DeriveOSPFNsOp = timeIt(20, func() {
+		trial := base.CloneCOW("r2")
+		d := trial.Devices["r2"]
+		for _, ifName := range d.InterfaceNames() {
+			d.OSPF.Passive[ifName] = true
+		}
+		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeOSPF}})
+	})
+	if r.DeriveStaticNsOp > 0 {
+		r.DeriveStaticSpeed = r.FullComputeNsOp / r.DeriveStaticNsOp
+	}
+	if r.DeriveACLNsOp > 0 {
+		r.DeriveACLSpeed = r.FullComputeNsOp / r.DeriveACLNsOp
+	}
+
+	// Flow-cache hit rate over a cold + warm verification pass.
+	warm := dataplane.Compute(uni.Network)
+	verify.Check(warm, uni.Policies)
+	verify.Check(warm, uni.Policies)
+	hits, misses := warm.FlowCacheStats()
+	if hits+misses > 0 {
+		r.FlowCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return r
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -152,6 +152,31 @@ func (n *Network) Clone() *Network {
 	return c
 }
 
+// CloneCOW returns a copy-on-write clone: the named devices are deep-cloned
+// and safe to mutate, every other *Device pointer is shared with the
+// receiver. The shared devices MUST be treated as immutable by the caller —
+// writing one corrupts the original network (and races with anyone reading
+// it). Links are shared too (the slice is capped, so appending to the
+// clone's Links cannot clobber the receiver's backing array); Connect-ing
+// new cables on a COW clone is safe, but mutating an existing Link is not.
+//
+// This is what makes the attack-surface mutation sweep cheap: a trial that
+// touches one device pays one Device.Clone instead of a full deep copy of
+// the network. TestCloneCOWAliasing pins the sharing contract.
+func (n *Network) CloneCOW(mutated ...string) *Network {
+	c := &Network{Name: n.Name, Devices: make(map[string]*Device, len(n.Devices))}
+	for name, d := range n.Devices {
+		c.Devices[name] = d
+	}
+	for _, name := range mutated {
+		if d, ok := n.Devices[name]; ok {
+			c.Devices[name] = d.Clone()
+		}
+	}
+	c.Links = n.Links[:len(n.Links):len(n.Links)]
+	return c
+}
+
 // Validate checks structural invariants: every link endpoint names an
 // existing device and interface, no interface is cabled twice, and no two
 // up interfaces carry the same IP address.
