@@ -338,7 +338,10 @@ func BenchmarkSnapshotCompute(b *testing.B) {
 // recompute at university scale — the per-trial cost of the mutation
 // sweep. "full-compute" is the old path (deep Clone + Compute);
 // "derive-static" rebuilds one device's RIB+FIB; "derive-acl" recomputes
-// nothing at all. The acceptance bar is derive-static ≥ 10× cheaper than
+// nothing at all; "derive-l2" re-checks adjacency/LSDB but shares every
+// table by identity; "derive-l3topo" is the universal single-device
+// topology derive with the incremental link-state pass. The acceptance
+// bars are derive-static ≥ 10× and derive-l2 ≥ 20× cheaper than
 // full-compute; TestDeriveMatchesCompute proves the outputs identical.
 func BenchmarkDerive(b *testing.B) {
 	scen := scenarios.University()
@@ -380,6 +383,26 @@ func BenchmarkDerive(b *testing.B) {
 				d.OSPF.Passive[ifName] = true
 			}
 			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeOSPF}})
+		}
+	})
+	b.Run("derive-l2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.CloneCOW("r2")
+			trial.Devices["r2"].VLANs[999] = &netmodel.VLAN{ID: 999, Name: "qa"}
+			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeL2}})
+		}
+	})
+	b.Run("derive-l3topo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trial := base.CloneCOW("r2")
+			for _, ifName := range trial.Devices["r2"].InterfaceNames() {
+				itf := trial.Devices["r2"].Interfaces[ifName]
+				if itf.Up() && itf.HasAddr() {
+					itf.Shutdown = true
+					break
+				}
+			}
+			snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeL3Topology}})
 		}
 	})
 }
@@ -427,7 +450,7 @@ func BenchmarkEndToEndWorkflow(b *testing.B) {
 // (Heimdall's template) versus per whole device (a coarse admin habit).
 func BenchmarkPrivilegeGranularity(b *testing.B) {
 	scen := scenarios.Enterprise()
-	cases := attacksurface.InterfaceFaults(scen.Network)[:8]
+	cases := attacksurface.InterfaceFaults(scen.Network, nil)[:8]
 	fine := &attacksurface.Evaluator{Base: scen.Network, Policies: scen.Policies, Sensitive: scen.Sensitive}
 
 	var fineRes, coarseRes *attacksurface.Result

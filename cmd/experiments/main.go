@@ -125,8 +125,9 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote benchmark trajectory to %s (fig8 serial %.2fs, derive-static %.0fx)\n",
-				*benchJSON, report.Figure8SerialSeconds, report.DeriveStaticSpeed)
+			fmt.Printf("wrote benchmark trajectory to %s (fig8 serial %.2fs, derive-static %.0fx, derive-l2 %.0fx, spf-memo hit rate %.0f%%)\n",
+				*benchJSON, report.Figure8SerialSeconds, report.DeriveStaticSpeed,
+				report.DeriveL2Speed, 100*report.SPFMemoHitRate)
 		})
 	}
 	if *all || *verifyCost {

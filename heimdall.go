@@ -131,13 +131,18 @@ type (
 	ChangeSet = dataplane.ChangeSet
 )
 
-// Change classes for Snapshot.Derive.
+// Change classes for Snapshot.Derive. ChangeL2 covers switching-fabric
+// edits (VLANs, access/trunk port membership, L2 port state); ChangeL3Topology
+// covers routed-interface and addressing edits. ChangeTopology remains the
+// conservative umbrella for link or device add/remove.
 const (
-	ChangeACL      = dataplane.ChangeACL
-	ChangeStatic   = dataplane.ChangeStatic
-	ChangeOSPF     = dataplane.ChangeOSPF
-	ChangeBGP      = dataplane.ChangeBGP
-	ChangeTopology = dataplane.ChangeTopology
+	ChangeACL        = dataplane.ChangeACL
+	ChangeStatic     = dataplane.ChangeStatic
+	ChangeOSPF       = dataplane.ChangeOSPF
+	ChangeBGP        = dataplane.ChangeBGP
+	ChangeL2         = dataplane.ChangeL2
+	ChangeL3Topology = dataplane.ChangeL3Topology
+	ChangeTopology   = dataplane.ChangeTopology
 )
 
 // ComputeSnapshot computes the forwarding behaviour of a network.
@@ -182,6 +187,9 @@ type (
 	PrivilegeSpec = privilege.Spec
 	// PrivilegeRule is one allow/deny predicate.
 	PrivilegeRule = privilege.Rule
+	// CompiledPrivilegeSpec is a Spec compiled into a segment trie for
+	// allocation-free Allows checks on hot mediation paths.
+	CompiledPrivilegeSpec = privilege.CompiledSpec
 	// TaskKind classifies tickets for privilege templates.
 	TaskKind = privilege.TaskKind
 	// TemplateInput describes a ticket to GeneratePrivileges.

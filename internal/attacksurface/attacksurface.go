@@ -121,6 +121,34 @@ type Evaluator struct {
 	// identical to the serial sweep regardless of Workers — samples merge
 	// in fault-case order and the violation search is order-independent.
 	Workers int
+
+	// baseOnce/baseSnap memoize the base network's snapshot so fault
+	// enumeration and every per-fault derivation share one full compute.
+	baseOnce sync.Once
+	baseSnap *dataplane.Snapshot
+	// memoOnce/memo hold the sweep-wide SPF memo: trials and faults that
+	// produce identical L3 graphs share one link-state computation.
+	memoOnce sync.Once
+	memo     *dataplane.SPFMemo
+}
+
+// BaseSnapshot returns the snapshot of ev.Base, computed once and shared
+// by every fault case (and by InterfaceFaults when the caller passes it).
+func (ev *Evaluator) BaseSnapshot() *dataplane.Snapshot {
+	ev.baseOnce.Do(func() { ev.baseSnap = dataplane.Compute(ev.Base) })
+	return ev.baseSnap
+}
+
+// spfMemo returns the sweep-wide SPF memo, created on first use.
+func (ev *Evaluator) spfMemo() *dataplane.SPFMemo {
+	ev.memoOnce.Do(func() { ev.memo = dataplane.NewSPFMemo() })
+	return ev.memo
+}
+
+// SPFMemoStats returns the sweep's SPF-memo hit/miss counters — the
+// fraction of link-state passes the memo absorbed.
+func (ev *Evaluator) SPFMemoStats() (hits, misses uint64) {
+	return ev.spfMemo().Stats()
 }
 
 // InterfaceFaults enumerates the experiment's issues: for every up,
@@ -128,9 +156,13 @@ type Evaluator struct {
 // paired with the first host pair whose baseline traffic crosses that
 // device. Interfaces whose loss strands no host pair produce no ticket and
 // are skipped, mirroring the paper's setup where every issue is a real
-// ticket.
-func InterfaceFaults(n *netmodel.Network) []FaultCase {
-	snap := dataplane.Compute(n)
+// ticket. snap must be a snapshot of n; pass nil to compute one (callers
+// that already hold the base snapshot — every caller in the tree — reuse
+// it instead of paying a duplicate full compute).
+func InterfaceFaults(n *netmodel.Network, snap *dataplane.Snapshot) []FaultCase {
+	if snap == nil {
+		snap = dataplane.Compute(n)
+	}
 	hosts := n.Hosts()
 	type pairTrace struct {
 		src, dst string
@@ -266,17 +298,25 @@ func (ev *Evaluator) evaluateCase(tech Technique, fc FaultCase,
 
 	// Every ticket.Fault injector mutates only its RootCause device (the
 	// contract Evaluate documents), so the faulted network shares all other
-	// devices with ev.Base copy-on-write. The faulted snapshot is a full
-	// compute: the injected fault is an interface-down, which changes L2
-	// adjacency, so there is nothing for a derivation to reuse.
+	// devices with ev.Base copy-on-write — and the faulted snapshot derives
+	// from the base snapshot as an L3-topology change on that one device
+	// instead of a from-scratch compute. ChangeL3Topology re-derives every
+	// structure a single-device mutation can reach (adjacency, ownership,
+	// LSDB-diffed OSPF, session-checked BGP, the device's own RIB), so it
+	// is sound for any fault honoring the contract; the sweep-wide SPF memo
+	// dedups link-state passes across faults isolating the same component.
 	faulted := ev.Base.CloneCOW(fc.Fault.RootCause)
 	if err := fc.Fault.Inject(faulted); err != nil {
 		return Sample{}, false
 	}
-	snap := dataplane.Compute(faulted)
+	snap := ev.BaseSnapshot().DeriveWithMemo(faulted,
+		dataplane.ChangeSet{{Device: fc.Fault.RootCause, Kind: dataplane.ChangeL3Topology}},
+		ev.spfMemo())
 	slice := twin.ComputeSlice(faulted, snap, tech.Strategy, fc.Src, fc.Dst, nil)
 
-	spec := ev.specFor(tech, faulted, slice)
+	// The spec is evaluated against every cataloged command on every
+	// visible node plus each mutation trial — compile it once per case.
+	spec := ev.specFor(tech, faulted, slice).Compile()
 	visible := func(dev string) bool { return slice[dev] }
 
 	// ΣC: allowed commands on visible nodes.
@@ -375,7 +415,7 @@ func (ev *Evaluator) specFor(tech Technique, n *netmodel.Network, slice map[stri
 	return spec
 }
 
-func anyInterfaceFixAllowed(spec *privilege.Spec, d *netmodel.Device) bool {
+func anyInterfaceFixAllowed(spec *privilege.CompiledSpec, d *netmodel.Device) bool {
 	if d == nil {
 		return false
 	}
@@ -393,6 +433,18 @@ func violatedSet(snap *dataplane.Snapshot, policies []verify.Policy) map[string]
 		out[v.Policy.ID] = true
 	}
 	return out
+}
+
+// policyScope returns the policies a trial mutating dev must recheck.
+// Routers get verify.AffectedBy's trace-based subset; switches keep every
+// policy in scope, because their VLAN fabric carries flows whose traces
+// never list the switch as an L3 hop (an access-port move or trunk
+// shutdown can break a policy AffectedBy would have dropped).
+func (ev *Evaluator) policyScope(faulted *netmodel.Network, snap *dataplane.Snapshot, dev string) []verify.Policy {
+	if d := faulted.Devices[dev]; d != nil && d.Kind == netmodel.Switch {
+		return ev.Policies
+	}
+	return verify.AffectedBy(snap, ev.Policies, map[string]bool{dev: true})
 }
 
 // mutation is one canonical malicious action a technician could attempt.
@@ -421,7 +473,7 @@ type mutation struct {
 // fans the trials out across goroutines; the violation union is
 // order-independent, so the count is identical either way.
 func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot,
-	spec *privilege.Spec, full bool, slice map[string]bool, pre map[string]bool, gate limiter) int {
+	spec *privilege.CompiledSpec, full bool, slice map[string]bool, pre map[string]bool, gate limiter) int {
 
 	// Hijack targets: every host subnet (a /24 route outranks the OSPF
 	// routes protecting it).
@@ -488,11 +540,7 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 		if _, ok := affected[m.device]; ok {
 			continue
 		}
-		if d := faulted.Devices[m.device]; d != nil && d.Kind == netmodel.Switch {
-			affected[m.device] = ev.Policies
-		} else {
-			affected[m.device] = verify.AffectedBy(snap, ev.Policies, map[string]bool{m.device: true})
-		}
+		affected[m.device] = ev.policyScope(faulted, snap, m.device)
 	}
 
 	violated := make(map[string]bool)
@@ -501,7 +549,7 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 			if len(violated) >= winnable {
 				break // every winnable policy is violable already
 			}
-			for _, id := range trialViolations(faulted, snap, m, affected[m.device], pre, violated) {
+			for _, id := range ev.trialViolations(faulted, snap, m, affected[m.device], pre, violated) {
 				violated[id] = true
 			}
 		}
@@ -530,7 +578,7 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 				seen[id] = true
 			}
 			mu.Unlock()
-			ids := trialViolations(faulted, snap, m, affected[m.device], pre, seen)
+			ids := ev.trialViolations(faulted, snap, m, affected[m.device], pre, seen)
 			if len(ids) == 0 {
 				return
 			}
@@ -558,9 +606,11 @@ func (ev *Evaluator) potentialViolations(faulted *netmodel.Network, snap *datapl
 // off: CloneCOW deep-copies only the mutated device, and Derive reuses
 // every part of the faulted snapshot the mutation class cannot invalidate
 // (an ACL trial recomputes nothing at all; a static-route trial rebuilds
-// one RIB). The derived snapshot is byte-identical to a from-scratch
-// Compute, so VP counts are exactly those of the old clone-everything loop.
-func trialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot, m mutation,
+// one RIB; an L2 trial whose LSDB is unchanged shares all routing state).
+// The derived snapshot is byte-identical to a from-scratch Compute, so VP
+// counts are exactly those of the old clone-everything loop; the SPF memo
+// additionally collapses trials that isolate identical L3 graphs.
+func (ev *Evaluator) trialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot, m mutation,
 	scope []verify.Policy, pre, skip map[string]bool) []string {
 
 	todo := make([]verify.Policy, 0, len(scope))
@@ -574,7 +624,8 @@ func trialViolations(faulted *netmodel.Network, snap *dataplane.Snapshot, m muta
 	}
 	trial := faulted.CloneCOW(m.device)
 	m.apply(trial)
-	tsnap := snap.Derive(trial, dataplane.ChangeSet{{Device: m.device, Kind: m.kind}})
+	tsnap := snap.DeriveWithMemo(trial,
+		dataplane.ChangeSet{{Device: m.device, Kind: m.kind}}, ev.spfMemo())
 	var out []string
 	for _, p := range todo {
 		if verify.CheckPolicy(tsnap, p) != nil {
@@ -589,13 +640,20 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 	dev := d.Name
 	var out []mutation
 
-	// Shut every interface down.
+	// Shut every interface down. Downing a pure-L2 port (access/trunk or
+	// unaddressed) is an L2-class change; downing an addressed routed port
+	// or SVI is an L3-topology change. Either way the mutation is confined
+	// to this device, so a full-recompute fallback is never needed.
 	for _, ifName := range d.InterfaceNames() {
 		name := ifName
+		kind := dataplane.ChangeL3Topology
+		if netmodel.InterfaceL2Only(d.Interfaces[ifName]) {
+			kind = dataplane.ChangeL2
+		}
 		out = append(out, mutation{
 			action:   "config.interface.set",
 			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
-			kind:     dataplane.ChangeTopology,
+			kind:     kind,
 			apply: func(n *netmodel.Network) {
 				if itf := n.Devices[dev].Interface(name); itf != nil {
 					itf.Shutdown = true
@@ -668,13 +726,16 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		})
 	}
 
-	// Break L2: delete VLANs, move access ports.
+	// Break L2: delete VLANs, move access ports. Both touch only the
+	// switching fabric (VLAN definitions never carry addresses, access
+	// ports are never L3 endpoints), so they derive as L2-class changes —
+	// typically sharing every RIB with the faulted snapshot by identity.
 	for _, id := range d.VLANIDs() {
 		vid := id
 		out = append(out, mutation{
 			action:   "config.vlan.remove",
 			resource: fmt.Sprintf("device:%s:vlan:%d", dev, vid),
-			kind:     dataplane.ChangeTopology,
+			kind:     dataplane.ChangeL2,
 			apply: func(n *netmodel.Network) {
 				delete(n.Devices[dev].VLANs, vid)
 			},
@@ -689,7 +750,7 @@ func deviceMutations(d *netmodel.Device, hijacks []netip.Prefix) []mutation {
 		out = append(out, mutation{
 			action:   "config.interface.set",
 			resource: fmt.Sprintf("device:%s:interface:%s", dev, name),
-			kind:     dataplane.ChangeTopology,
+			kind:     dataplane.ChangeL2,
 			apply: func(n *netmodel.Network) {
 				n.Devices[dev].Interface(name).AccessVLAN = 999
 			},

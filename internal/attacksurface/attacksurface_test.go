@@ -3,12 +3,15 @@ package attacksurface
 import (
 	"testing"
 
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/verify"
 )
 
 func TestInterfaceFaultsEnumeration(t *testing.T) {
 	s := scenarios.Enterprise()
-	cases := InterfaceFaults(s.Network)
+	cases := InterfaceFaults(s.Network, nil)
 	if len(cases) < 10 {
 		t.Fatalf("too few fault cases: %d", len(cases))
 	}
@@ -33,7 +36,7 @@ func TestFigure8Shape(t *testing.T) {
 	}
 	s := scenarios.Enterprise()
 	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive}
-	cases := InterfaceFaults(s.Network)
+	cases := InterfaceFaults(s.Network, nil)
 
 	all := ev.Evaluate(All, cases)
 	nb := ev.Evaluate(Neighbor, cases)
@@ -71,7 +74,7 @@ func TestFigure8Shape(t *testing.T) {
 func TestMutationBudgetBounds(t *testing.T) {
 	s := scenarios.Enterprise()
 	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive, MutationBudget: 3}
-	cases := InterfaceFaults(s.Network)[:2]
+	cases := InterfaceFaults(s.Network, nil)[:2]
 	res := ev.Evaluate(All, cases)
 	if len(res.Samples) != 2 {
 		t.Fatalf("samples = %d", len(res.Samples))
@@ -89,7 +92,7 @@ func TestMutationBudgetBounds(t *testing.T) {
 func TestHeimdallExposesLessThanAll(t *testing.T) {
 	s := scenarios.Enterprise()
 	ev := &Evaluator{Base: s.Network, Policies: s.Policies, Sensitive: s.Sensitive, MutationBudget: 1}
-	cases := InterfaceFaults(s.Network)[:3]
+	cases := InterfaceFaults(s.Network, nil)[:3]
 	all := ev.Evaluate(All, cases)
 	hd := ev.Evaluate(Heimdall, cases)
 	for i := range all.Samples {
@@ -117,5 +120,77 @@ func TestResultAggregation(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Fatal("empty String")
+	}
+}
+
+// TestAffectedBySwitchConservative pins why policyScope treats switches
+// conservatively: the enterprise fabric carries flows through sw1/sw2 as
+// pure L2 transit, so their traces never list the switch as a hop,
+// verify.AffectedBy would drop the policy from a trial's recheck scope —
+// yet an L2-only mutation on the switch (trunk shutdown) breaks the flow.
+// The sweep must therefore keep every policy in scope for switch trials.
+func TestAffectedBySwitchConservative(t *testing.T) {
+	scen := scenarios.Enterprise()
+	n := scen.Network
+	snap := dataplane.Compute(n)
+	ev := &Evaluator{Base: n, Policies: scen.Policies, Sensitive: scen.Sensitive}
+
+	type witness struct {
+		policy verify.Policy
+		sw     string
+	}
+	var w *witness
+	for _, sw := range []string{"sw1", "sw2"} {
+		mutated := n.CloneCOW(sw)
+		d := mutated.Devices[sw]
+		trunk := ""
+		for _, ifName := range d.InterfaceNames() {
+			if itf := d.Interfaces[ifName]; itf.Mode == netmodel.Trunk && !itf.HasAddr() {
+				trunk = ifName
+				break
+			}
+		}
+		if trunk == "" {
+			continue
+		}
+		d.Interfaces[trunk].Shutdown = true
+		trial := snap.Derive(mutated, dataplane.ChangeSet{{Device: sw, Kind: dataplane.ChangeL2}})
+		for _, p := range scen.Policies {
+			tr, err := snap.Reach(p.Src, p.Dst, p.Proto, p.DstPort)
+			if err != nil || !tr.Delivered() || tr.Traverses(sw) {
+				continue // only interested in policies outside AffectedBy's scope
+			}
+			if verify.CheckPolicy(trial, p) != nil {
+				w = &witness{policy: p, sw: sw}
+				break
+			}
+		}
+		if w != nil {
+			break
+		}
+	}
+	if w == nil {
+		t.Fatal("no policy is both outside AffectedBy scope and breakable by an L2 switch mutation; the conservative path has no witness")
+	}
+
+	// AffectedBy alone would have dropped the witness policy...
+	scoped := verify.AffectedBy(snap, []verify.Policy{w.policy}, map[string]bool{w.sw: true})
+	if len(scoped) != 0 {
+		t.Fatalf("precondition broken: %s is in AffectedBy scope for %s", w.policy.ID, w.sw)
+	}
+	// ...but the sweep's per-trial scope must retain it.
+	kept := false
+	for _, p := range ev.policyScope(n, snap, w.sw) {
+		if p.ID == w.policy.ID {
+			kept = true
+			break
+		}
+	}
+	if !kept {
+		t.Errorf("policyScope(%s) dropped policy %s, which an L2 mutation on %s violates", w.sw, w.policy.ID, w.sw)
+	}
+	// A router's scope stays trace-based: it must be a strict subset.
+	if got, all := len(ev.policyScope(n, snap, "r2")), len(scen.Policies); got >= all {
+		t.Errorf("router scope not narrowed: %d of %d policies", got, all)
 	}
 }

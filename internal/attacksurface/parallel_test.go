@@ -28,7 +28,7 @@ func TestParallelEquivalence(t *testing.T) {
 		{"university", scenarios.University(), 24, 4},
 	} {
 		t.Run(c.name, func(t *testing.T) {
-			cases := InterfaceFaults(c.scen.Network)
+			cases := InterfaceFaults(c.scen.Network, nil)
 			if c.cases > 0 && len(cases) > c.cases {
 				cases = cases[:c.cases]
 			}
@@ -97,7 +97,7 @@ func exhaustiveVP(ev *Evaluator, faulted *netmodel.Network, tech Technique,
 // as rechecking everything.
 func TestIncrementalMatchesExhaustive(t *testing.T) {
 	scen := scenarios.Enterprise()
-	cases := InterfaceFaults(scen.Network)
+	cases := InterfaceFaults(scen.Network, nil)
 	if len(cases) > 10 {
 		cases = cases[:10]
 	}
@@ -115,7 +115,7 @@ func TestIncrementalMatchesExhaustive(t *testing.T) {
 			pre := violatedSet(snap, ev.Policies)
 
 			want := exhaustiveVP(ev, faulted, tech, slice, pre)
-			got := ev.potentialViolations(faulted, snap, spec, tech.FullPrivileges, slice, pre, nil)
+			got := ev.potentialViolations(faulted, snap, spec.Compile(), tech.FullPrivileges, slice, pre, nil)
 			if got != want {
 				t.Errorf("%s/%s: incremental VP = %d, exhaustive = %d",
 					tech.Name, fc.Fault.Name, got, want)
@@ -128,7 +128,7 @@ func TestIncrementalMatchesExhaustive(t *testing.T) {
 // evaluator fully serial (the documented Workers: 1 contract).
 func TestWorkersDefaultSerial(t *testing.T) {
 	scen := scenarios.Enterprise()
-	cases := InterfaceFaults(scen.Network)[:3]
+	cases := InterfaceFaults(scen.Network, nil)[:3]
 	zero := &Evaluator{Base: scen.Network, Policies: scen.Policies,
 		Sensitive: scen.Sensitive, MutationBudget: 2}
 	one := &Evaluator{Base: scen.Network, Policies: scen.Policies,

@@ -97,7 +97,13 @@ type bgpRoute struct {
 // computeBGP runs the path-vector propagation to a fixpoint and returns
 // per-device FIB entries for learned (non-local) routes.
 func computeBGP(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
-	sessions := bgpSessions(n, adj)
+	return computeBGPOver(n, bgpSessions(n, adj))
+}
+
+// computeBGPOver is computeBGP given an already-computed session list
+// (Derive computes the sessions first to decide whether a rerun is needed
+// at all).
+func computeBGPOver(n *netmodel.Network, sessions []bgpSession) map[string][]FIBEntry {
 	if len(sessions) == 0 {
 		return nil
 	}

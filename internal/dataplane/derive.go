@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"sort"
+
 	"heimdall/internal/netmodel"
 )
 
@@ -23,16 +25,41 @@ const (
 	// enabled networks, process removal). The link-state pass reads the L2
 	// adjacency but never feeds back into it, and nothing is redistributed
 	// between OSPF and BGP, so adjacency, BGP routes, and BGP sessions all
-	// stay valid; the OSPF pass reruns and every RIB is rebuilt.
+	// stay valid; the link-state pass reruns incrementally and only the
+	// RIBs whose OSPF inputs differed are rebuilt.
 	ChangeOSPF
 	// ChangeBGP covers BGP process edits (neighbors, networks, AS changes,
-	// process removal). Sessions and routes rerun; adjacency and OSPF stay.
+	// process removal). Sessions and routes rerun; adjacency and OSPF stay,
+	// and only RIBs whose BGP inputs differed are rebuilt.
 	ChangeBGP
-	// ChangeTopology covers anything that can alter L2 adjacency or address
-	// ownership: interface state/addresses, VLANs, links. Everything is
-	// recomputed from scratch.
+	// ChangeL2 covers mutations confined to the switching fabric of the
+	// changed device: VLAN definition edits, access-port VLAN moves, and
+	// state changes of ports that are not L3 endpoints (no address, or
+	// access/trunk mode — see netmodel.InterfaceL2Only). Such a change can
+	// rewire L2 adjacency — and through it OSPF adjacencies and BGP session
+	// reachability, which the derivation re-checks — but can never alter
+	// address ownership, connected routes, or static resolution, so every
+	// structure the re-checked inputs confirm unchanged is shared with the
+	// parent by identity. A pure-L2 rewire (the common case: VLAN renames,
+	// moves among L2-only segments) shares ALL routing state.
+	ChangeL2
+	// ChangeL3Topology covers interface-level changes on the changed
+	// devices that can affect L3 state: shutdowns of addressed ports,
+	// address edits, SVI changes. Adjacency and address ownership are
+	// recomputed; the link-state pass reruns incrementally (SPF only for
+	// sources whose reachable LSDB component changed), BGP reruns only when
+	// the session set or a changed device's BGP process could differ, and
+	// RIBs rebuild only for devices whose route inputs actually changed.
+	ChangeL3Topology
+	// ChangeTopology is the conservative fallback for anything not
+	// confined to the declared devices or not classifiable: link edits,
+	// device add/remove, unknown operations. Everything is recomputed from
+	// scratch.
 	ChangeTopology
 )
+
+// changeKindCount sizes per-kind lookup tables.
+const changeKindCount = int(ChangeTopology) + 1
 
 // String names the change kind.
 func (k ChangeKind) String() string {
@@ -45,6 +72,10 @@ func (k ChangeKind) String() string {
 		return "ospf"
 	case ChangeBGP:
 		return "bgp"
+	case ChangeL2:
+		return "l2"
+	case ChangeL3Topology:
+		return "l3-topology"
 	case ChangeTopology:
 		return "topology"
 	default:
@@ -74,23 +105,41 @@ type ChangeSet []Change
 //
 // Reuse per class (see ChangeKind docs for the exactness argument):
 //
-//	ACL      → everything shared (adjacency, sessions, OSPF, BGP, RIBs, FIBs)
-//	Static   → shared except the changed devices' RIBs+FIBs
-//	OSPF     → adjacency, sessions, BGP shared; OSPF pass rerun, RIBs rebuilt
-//	BGP      → adjacency, OSPF shared; sessions+BGP rerun, RIBs rebuilt
-//	Topology → full ComputeWithOptions fallback
+//	ACL        → everything shared (adjacency, sessions, OSPF, BGP, RIBs, FIBs)
+//	Static     → shared except the changed devices' RIBs+FIBs
+//	OSPF       → adjacency, sessions, BGP shared; incremental SPF, diffed RIBs
+//	BGP        → adjacency, OSPF shared; sessions+BGP rerun, diffed RIBs
+//	L2         → adjacency rebuilt; owner shared; OSPF/BGP rerun only if the
+//	             LSDB or session set changed, routes shared per source/device
+//	L3Topology → adjacency+owner rebuilt; incremental SPF, session-checked
+//	             BGP, RIBs rebuilt for changed devices and route diffs
+//	Topology   → full ComputeWithOptions fallback
 func (s *Snapshot) Derive(n *netmodel.Network, changes ChangeSet) *Snapshot {
-	kinds := [5]bool{}
-	var staticDevs []string
+	return s.DeriveWithMemo(n, changes, nil)
+}
+
+// DeriveWithMemo is Derive with an optional cross-derivation SPF memo.
+// When the mutated network's LSDB serializes to a key the memo has seen,
+// the whole link-state pass is skipped in favor of the memoized routes —
+// the big win for sweeps whose trials keep producing the same L3 graph.
+// A nil memo disables memoization; the same memo may be shared by
+// concurrent derivations.
+func (s *Snapshot) DeriveWithMemo(n *netmodel.Network, changes ChangeSet, memo *SPFMemo) *Snapshot {
+	kinds := [changeKindCount]bool{}
+	// ribDirty accumulates the devices whose RIB inputs changed. Static and
+	// L3-topology changes can alter the changed device's connected/static
+	// routes, so those are dirty up front; protocol route differences are
+	// discovered (and marked) by the diffs below.
+	ribDirty := make(map[string]bool)
 	for _, c := range changes {
 		kinds[c.Kind] = true
-		if c.Kind == ChangeStatic {
-			staticDevs = append(staticDevs, c.Device)
+		if c.Kind == ChangeStatic || c.Kind == ChangeL3Topology {
+			ribDirty[c.Device] = true
 		}
 	}
 
-	// Anything touching L2 adjacency or address ownership invalidates the
-	// whole snapshot: fall back to a from-scratch compute.
+	// Anything that may rewire links between devices or add/remove devices
+	// invalidates the whole snapshot: fall back to a from-scratch compute.
 	if kinds[ChangeTopology] {
 		return ComputeWithOptions(n, s.opts)
 	}
@@ -103,48 +152,258 @@ func (s *Snapshot) Derive(n *netmodel.Network, changes ChangeSet) *Snapshot {
 		ospfRoutes: s.ospfRoutes,
 		bgpRoutes:  s.bgpRoutes,
 		owner:      s.owner,
+		lsdb:       s.lsdb,
 		flows:      newFlowCache(s.opts.Meter),
 	}
 
-	switch {
-	case kinds[ChangeOSPF] || kinds[ChangeBGP]:
-		// Protocol-level change: rerun the affected protocol pass(es) over
-		// the unchanged adjacency, then rebuild every RIB (any device may
-		// have learned or lost routes).
-		if kinds[ChangeOSPF] {
-			d.ospfRoutes = computeOSPF(n, s.adj)
-		}
-		if kinds[ChangeBGP] {
-			d.sessions = bgpSessions(n, s.adj)
-			d.bgpRoutes = computeBGP(n, s.adj)
-		}
-		d.ribs, d.fibs = buildRIBs(n, n.DeviceNames(), s.adj, d.ospfRoutes, d.bgpRoutes)
-
-	case kinds[ChangeStatic]:
-		// Statics never leave their device: rebuild only the changed
-		// devices' RIBs+FIBs, sharing all others via copied maps.
-		d.ribs = make(map[string][]FIBEntry, len(s.ribs))
-		d.fibs = make(map[string]*LPM, len(s.fibs))
-		for dev, rib := range s.ribs {
-			d.ribs[dev] = rib
-		}
-		for dev, fib := range s.fibs {
-			d.fibs[dev] = fib
-		}
-		for _, dev := range staticDevs {
-			if n.Devices[dev] == nil {
-				continue
+	topo := kinds[ChangeL2] || kinds[ChangeL3Topology]
+	if topo {
+		groups := computeL2Groups(n)
+		if !kinds[ChangeL3Topology] && groupsMatch(groups, s.adj) {
+			// The entire L3-visible effect of an L2 change flows through
+			// the adjacency relation (it is how the switching fabric feeds
+			// OSPF adjacencies and BGP session reachability, and an L2
+			// change can touch neither addresses nor protocol config).
+			// Unchanged adjacency therefore proves every L3 structure of
+			// the parent — LSDB, SPF results, sessions, routes, RIBs — is
+			// still exact: keep them all shared and skip the protocol
+			// re-checks outright. Comparing the factored component
+			// partition avoids even materializing the peer lists.
+			topo = false
+		} else {
+			d.adj = adjacencyFromGroups(groups)
+			if kinds[ChangeL3Topology] {
+				// An L2-only change cannot move addresses, so owner is
+				// shared unless an L3-topology change is present.
+				d.owner = buildOwner(n)
 			}
-			rib := ribFor(n, dev, s.adj, s.ospfRoutes, s.bgpRoutes)
-			d.ribs[dev] = rib
-			d.fibs[dev] = fibFrom(rib)
 		}
+	}
 
-	default:
-		// ACL-only (or empty) change set: ACLs gate TraceFrom, not routing.
-		// Share the RIB and FIB maps outright; only the flow cache is new.
+	if topo || kinds[ChangeOSPF] {
+		d.lsdb = buildLSDB(n, d.adj)
+		d.ospfRoutes = s.incrementalOSPF(d.lsdb, memo, ribDirty)
+	}
+
+	if topo || kinds[ChangeBGP] {
+		// A topology change can only affect BGP by forming or tearing down
+		// sessions, or by altering a changed device's own origination
+		// (connected subnets under "redistribute connected"). If neither is
+		// possible, the parent's sessions and routes stay valid as-is.
+		newSessions := bgpSessions(n, d.adj)
+		same := sessionsEqual(newSessions, s.sessions)
+		if kinds[ChangeBGP] || !same || bgpConfigTouched(s.net, n, changes) {
+			if same {
+				d.sessions = s.sessions
+			} else {
+				d.sessions = newSessions
+			}
+			d.bgpRoutes = reconcileRoutes(s.bgpRoutes, computeBGPOver(n, newSessions), ribDirty)
+		}
+	}
+
+	if len(ribDirty) == 0 {
+		// No device's RIB inputs changed: share the maps outright.
 		d.ribs = s.ribs
 		d.fibs = s.fibs
+		return d
+	}
+	devs := make([]string, 0, len(ribDirty))
+	for dev := range ribDirty {
+		if n.Devices[dev] != nil {
+			devs = append(devs, dev)
+		}
+	}
+	sort.Strings(devs)
+	d.ribs = make(map[string][]FIBEntry, len(s.ribs))
+	d.fibs = make(map[string]*LPM, len(s.fibs))
+	for dev, rib := range s.ribs {
+		d.ribs[dev] = rib
+	}
+	for dev, fib := range s.fibs {
+		d.fibs[dev] = fib
+	}
+	ribs, fibs := buildRIBs(n, devs, d.adj, d.ospfRoutes, d.bgpRoutes)
+	for dev, rib := range ribs {
+		d.ribs[dev] = rib
+	}
+	for dev, fib := range fibs {
+		d.fibs[dev] = fib
 	}
 	return d
+}
+
+// incrementalOSPF computes the OSPF route map for the new LSDB, reusing
+// the receiver's per-source route slices by identity wherever the source's
+// reachable component fingerprint is unchanged, consulting the memo for
+// whole-LSDB hits, and marking every device whose route set differs in
+// ribDirty. The result is DeepEqual to nl.routes() — including the
+// nil-iff-no-routers convention — without rerunning SPF for sources whose
+// answer is already known.
+func (s *Snapshot) incrementalOSPF(nl *ospfLSDB, memo *SPFMemo, ribDirty map[string]bool) map[string][]FIBEntry {
+	if len(nl.sources) == 0 {
+		for dev := range s.ospfRoutes {
+			ribDirty[dev] = true
+		}
+		return nil
+	}
+	if memo != nil {
+		if routes, ok := memo.lookup(nl.canonicalKey()); ok {
+			markRouteDiff(s.ospfRoutes, routes, ribDirty)
+			return routes
+		}
+	}
+
+	old := s.lsdb
+	out := make(map[string][]FIBEntry, len(nl.sources))
+	changed := false
+	var stale []int
+	for i, src := range nl.sources {
+		reusable := false
+		if old != nil {
+			if fp, ok := old.fingerprint(src); ok {
+				nfp, _ := nl.fingerprint(src)
+				reusable = fp == nfp
+			}
+		}
+		if reusable {
+			// Identical reachable component: SPF from this source is
+			// guaranteed to produce the same routes — share the parent's
+			// slice by identity without recomputing.
+			if r, ok := s.ospfRoutes[src]; ok {
+				out[src] = r
+			}
+			continue
+		}
+		stale = append(stale, i)
+	}
+	slots := make([][]FIBEntry, len(stale))
+	fanOut(len(stale), func(k int) {
+		slots[k] = nl.routesFrom(stale[k])
+	})
+	for k, i := range stale {
+		src := nl.sources[i]
+		oldRoutes, had := s.ospfRoutes[src]
+		if had && fibSlicesEqual(slots[k], oldRoutes) {
+			// Recomputed to the same answer: keep the old slice so RIB
+			// sharing (and identity-based tests) see no change.
+			out[src] = oldRoutes
+			continue
+		}
+		if len(slots[k]) > 0 {
+			out[src] = slots[k]
+		}
+		if had || len(slots[k]) > 0 {
+			ribDirty[src] = true
+			changed = true
+		}
+	}
+	// Devices that dropped out of the router set lose their OSPF routes.
+	for dev := range s.ospfRoutes {
+		if _, ok := nl.index[dev]; !ok {
+			ribDirty[dev] = true
+			changed = true
+		}
+	}
+	if !changed && s.ospfRoutes != nil && len(out) == len(s.ospfRoutes) {
+		// Nothing differed: share the whole map by identity.
+		out = s.ospfRoutes
+	}
+	if memo != nil {
+		out = memo.store(nl.canonicalKey(), out)
+	}
+	return out
+}
+
+// markRouteDiff marks in dirty every device whose route slice differs
+// between the two maps (present in only one, or content-unequal).
+func markRouteDiff(oldRoutes, newRoutes map[string][]FIBEntry, dirty map[string]bool) {
+	for dev, nr := range newRoutes {
+		if or, ok := oldRoutes[dev]; !ok || !fibSlicesEqual(or, nr) {
+			dirty[dev] = true
+		}
+	}
+	for dev := range oldRoutes {
+		if _, ok := newRoutes[dev]; !ok {
+			dirty[dev] = true
+		}
+	}
+}
+
+// reconcileRoutes diffs a recomputed protocol route map against the old
+// one: devices whose routes are content-equal get the old slice back (so
+// downstream identity checks can share RIBs), devices that differ are
+// marked dirty, and when nothing differed at all the old map itself is
+// returned. Preserves the nil-vs-empty distinction of the compute
+// functions exactly.
+func reconcileRoutes(oldRoutes, newRoutes map[string][]FIBEntry, dirty map[string]bool) map[string][]FIBEntry {
+	if newRoutes == nil {
+		for dev := range oldRoutes {
+			dirty[dev] = true
+		}
+		return nil
+	}
+	identical := oldRoutes != nil
+	for dev, nr := range newRoutes {
+		if or, ok := oldRoutes[dev]; ok && fibSlicesEqual(or, nr) {
+			newRoutes[dev] = or
+		} else {
+			dirty[dev] = true
+			identical = false
+		}
+	}
+	for dev := range oldRoutes {
+		if _, ok := newRoutes[dev]; !ok {
+			dirty[dev] = true
+			identical = false
+		}
+	}
+	if identical {
+		return oldRoutes
+	}
+	return newRoutes
+}
+
+// bgpConfigTouched reports whether any changed device runs BGP in the old
+// or new network. Origination (configured networks plus redistributed
+// connected subnets) is a function of a device's own config and
+// interfaces, so with the session set unchanged and no changed device
+// running BGP, the path-vector outcome cannot differ.
+func bgpConfigTouched(oldNet, newNet *netmodel.Network, changes ChangeSet) bool {
+	for _, c := range changes {
+		if d := oldNet.Devices[c.Device]; d != nil && d.BGP != nil {
+			return true
+		}
+		if d := newNet.Devices[c.Device]; d != nil && d.BGP != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionsEqual reports whether two session lists are element-wise equal
+// (both are in canonical sorted order).
+func sessionsEqual(a, b []bgpSession) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fibSlicesEqual reports element-wise equality of two route slices.
+func fibSlicesEqual(a, b []FIBEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -116,6 +116,120 @@ func TestDeriveInternalsPerClass(t *testing.T) {
 		derived := snap.Derive(mutated, ChangeSet{{Device: "isp2", Kind: ChangeTopology}})
 		assertInternalsEqual(t, derived, Compute(mutated))
 	})
+
+	t.Run("l3topo-interface-down", func(t *testing.T) {
+		mutated := base.CloneCOW("isp2")
+		mutated.Devices["isp2"].Interface("Gi0/0").Shutdown = true
+		derived := snap.Derive(mutated, ChangeSet{{Device: "isp2", Kind: ChangeL3Topology}})
+		assertInternalsEqual(t, derived, Compute(mutated))
+	})
+
+	t.Run("l2-shares-everything", func(t *testing.T) {
+		mutated := base.CloneCOW("edge")
+		mutated.Devices["edge"].VLANs[999] = &netmodel.VLAN{ID: 999, Name: "qa"}
+		derived := snap.Derive(mutated, ChangeSet{{Device: "edge", Kind: ChangeL2}})
+		assertInternalsEqual(t, derived, Compute(mutated))
+		// The ChangeL2 contract is sharing by identity, not just equality:
+		// the maps themselves must be the parent's.
+		if reflect.ValueOf(derived.ribs).Pointer() != reflect.ValueOf(snap.ribs).Pointer() {
+			t.Error("L2 derivation copied the RIB map")
+		}
+		if reflect.ValueOf(derived.fibs).Pointer() != reflect.ValueOf(snap.fibs).Pointer() {
+			t.Error("L2 derivation copied the FIB map")
+		}
+		if reflect.ValueOf(derived.ospfRoutes).Pointer() != reflect.ValueOf(snap.ospfRoutes).Pointer() {
+			t.Error("L2 derivation rebuilt the OSPF route map")
+		}
+		if reflect.ValueOf(derived.bgpRoutes).Pointer() != reflect.ValueOf(snap.bgpRoutes).Pointer() {
+			t.Error("L2 derivation rebuilt the BGP route map")
+		}
+		if len(derived.sessions) > 0 && &derived.sessions[0] != &snap.sessions[0] {
+			t.Error("L2 derivation rebuilt the BGP session list")
+		}
+		if reflect.ValueOf(derived.owner).Pointer() != reflect.ValueOf(snap.owner).Pointer() {
+			t.Error("L2 derivation rebuilt the owner index")
+		}
+	})
+}
+
+// twoIslandNet builds two disjoint OSPF islands in one network: r1—r2 and
+// r3—r4 with no links between the pairs. The LSDB splits into two
+// components, so a change inside one island must leave every SPF result of
+// the other island shared by identity.
+func twoIslandNet() *netmodel.Network {
+	n := netmodel.NewNetwork("islands")
+	for _, r := range []string{"r1", "r2", "r3", "r4"} {
+		n.AddDevice(r, netmodel.Router)
+	}
+	n.MustConnect("r1", "Gi0/0", "r2", "Gi0/0")
+	n.MustConnect("r3", "Gi0/0", "r4", "Gi0/0")
+	set := func(dev, itf, addr string) { n.Device(dev).Interface(itf).Addr = pfx(addr) }
+	set("r1", "Gi0/0", "10.1.0.1/30")
+	set("r2", "Gi0/0", "10.1.0.2/30")
+	set("r3", "Gi0/0", "10.2.0.1/30")
+	set("r4", "Gi0/0", "10.2.0.2/30")
+	// A loopback per router so every SPF run produces at least one route.
+	n.Device("r1").AddInterface("Loopback0").Addr = pfx("10.1.1.1/32")
+	n.Device("r2").AddInterface("Loopback0").Addr = pfx("10.1.2.1/32")
+	n.Device("r3").AddInterface("Loopback0").Addr = pfx("10.2.1.1/32")
+	n.Device("r4").AddInterface("Loopback0").Addr = pfx("10.2.2.1/32")
+	for _, r := range []string{"r1", "r2", "r3", "r4"} {
+		n.Device(r).OSPF = &netmodel.OSPFProcess{ProcessID: 1,
+			Networks: []netmodel.OSPFNetwork{{Prefix: pfx("10.0.0.0/8"), Area: 0}},
+			Passive:  map[string]bool{"Loopback0": true}}
+	}
+	return n
+}
+
+// TestDeriveAffectedSourceReuse pins the affected-source SPF optimization:
+// an OSPF cost bump in one island recomputes only that island's sources;
+// the untouched island's route slices come through by identity.
+func TestDeriveAffectedSourceReuse(t *testing.T) {
+	base := twoIslandNet()
+	snap := Compute(base)
+	mutated := base.CloneCOW("r1")
+	mutated.Devices["r1"].Interface("Gi0/0").OSPFCost = 7
+	derived := snap.Derive(mutated, ChangeSet{{Device: "r1", Kind: ChangeOSPF}})
+	assertInternalsEqual(t, derived, Compute(mutated))
+	for _, src := range []string{"r3", "r4"} {
+		if len(snap.ospfRoutes[src]) == 0 {
+			t.Fatalf("expected OSPF routes for %s in the base snapshot", src)
+		}
+		if &derived.ospfRoutes[src][0] != &snap.ospfRoutes[src][0] {
+			t.Errorf("%s SPF recomputed despite its component being untouched", src)
+		}
+	}
+	// r1's own routes must reflect the new cost, so its slice is fresh.
+	if len(derived.ospfRoutes["r1"]) > 0 && len(snap.ospfRoutes["r1"]) > 0 &&
+		&derived.ospfRoutes["r1"][0] == &snap.ospfRoutes["r1"][0] {
+		t.Error("r1 SPF slice shared even though its cost changed")
+	}
+}
+
+// TestSPFMemoReuse pins the per-sweep memo: two identical derivations
+// through one memo must yield the same OSPF route map (by identity) and
+// count exactly one miss and one hit.
+func TestSPFMemoReuse(t *testing.T) {
+	base := twoIslandNet()
+	snap := Compute(base)
+	memo := NewSPFMemo()
+	derive := func() *Snapshot {
+		mutated := base.CloneCOW("r1")
+		mutated.Devices["r1"].Interface("Gi0/0").OSPFCost = 9
+		return snap.DeriveWithMemo(mutated, ChangeSet{{Device: "r1", Kind: ChangeOSPF}}, memo)
+	}
+	d1 := derive()
+	d2 := derive()
+	if reflect.ValueOf(d1.ospfRoutes).Pointer() != reflect.ValueOf(d2.ospfRoutes).Pointer() {
+		t.Error("identical derivations did not share one memoized route map")
+	}
+	hits, misses := memo.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("memo stats = %d hits / %d misses, want 1 / 1", hits, misses)
+	}
+	mutated := base.CloneCOW("r1")
+	mutated.Devices["r1"].Interface("Gi0/0").OSPFCost = 9
+	assertInternalsEqual(t, d2, Compute(mutated))
 }
 
 // sameRIBMap reports whether two RIB maps share identical backing slices

@@ -20,11 +20,14 @@ import (
 )
 
 // deriveCase is one mutation class applied to one device of a scenario.
+// optional cases skip scenarios with no eligible device (the university
+// network has no switches, so the L2 fabric cases only run on enterprise).
 type deriveCase struct {
-	name   string
-	kind   dataplane.ChangeKind
-	device func(n *netmodel.Network) string
-	apply  func(d *netmodel.Device)
+	name     string
+	kind     dataplane.ChangeKind
+	device   func(n *netmodel.Network) string
+	apply    func(d *netmodel.Device)
+	optional bool
 }
 
 // firstUpIf returns the device's first up, addressed interface.
@@ -60,6 +63,34 @@ func ospfDevice(n *netmodel.Network) string {
 
 func router(name string) func(n *netmodel.Network) string {
 	return func(n *netmodel.Network) string { return name }
+}
+
+// switchWhere finds a switch for which pred returns a usable interface (or
+// any switch when pred is nil). Returns "" when the scenario has none.
+func switchWhere(pred func(d *netmodel.Device) bool) func(n *netmodel.Network) string {
+	return func(n *netmodel.Network) string {
+		for _, dev := range n.RoutersAndSwitches() {
+			d := n.Devices[dev]
+			if d.Kind != netmodel.Switch {
+				continue
+			}
+			if pred == nil || pred(d) {
+				return dev
+			}
+		}
+		return ""
+	}
+}
+
+// firstIfWhere returns the name of the device's first interface satisfying
+// pred, in deterministic order.
+func firstIfWhere(d *netmodel.Device, pred func(itf *netmodel.Interface) bool) string {
+	for _, ifName := range d.InterfaceNames() {
+		if pred(d.Interfaces[ifName]) {
+			return ifName
+		}
+	}
+	return ""
 }
 
 func deriveCases() []deriveCase {
@@ -140,12 +171,89 @@ func deriveCases() []deriveCase {
 			apply:  func(d *netmodel.Device) { d.OSPF = nil },
 		},
 		{
+			// ChangeTopology remains the conservative catch-all; keep one
+			// case on it so the full-recompute fallback stays covered.
 			name:   "interface-down",
 			kind:   dataplane.ChangeTopology,
 			device: router("r2"),
 			apply: func(d *netmodel.Device) {
 				d.Interfaces[firstUpIf(d)].Shutdown = true
 			},
+		},
+		{
+			name:   "l3topo-interface-down",
+			kind:   dataplane.ChangeL3Topology,
+			device: router("r2"),
+			apply: func(d *netmodel.Device) {
+				d.Interfaces[firstUpIf(d)].Shutdown = true
+			},
+		},
+		{
+			name: "l3topo-svi-down",
+			kind: dataplane.ChangeL3Topology,
+			device: switchWhere(func(d *netmodel.Device) bool {
+				return firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.IsSVI() && itf.HasAddr() && itf.Up()
+				}) != ""
+			}),
+			apply: func(d *netmodel.Device) {
+				ifName := firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.IsSVI() && itf.HasAddr() && itf.Up()
+				})
+				d.Interfaces[ifName].Shutdown = true
+			},
+			optional: true,
+		},
+		{
+			// Defining an unused VLAN is pure L2 state: every routing table
+			// must come through by identity.
+			name:   "l2-vlan-define",
+			kind:   dataplane.ChangeL2,
+			device: router("r2"),
+			apply: func(d *netmodel.Device) {
+				d.VLANs[999] = &netmodel.VLAN{ID: 999, Name: "qa"}
+			},
+		},
+		{
+			name: "l2-vlan-delete",
+			kind: dataplane.ChangeL2,
+			device: switchWhere(func(d *netmodel.Device) bool {
+				return d.VLANs[10] != nil
+			}),
+			apply:    func(d *netmodel.Device) { delete(d.VLANs, 10) },
+			optional: true,
+		},
+		{
+			name: "l2-access-port-move",
+			kind: dataplane.ChangeL2,
+			device: switchWhere(func(d *netmodel.Device) bool {
+				return firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.Mode == netmodel.Access
+				}) != ""
+			}),
+			apply: func(d *netmodel.Device) {
+				ifName := firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.Mode == netmodel.Access
+				})
+				d.Interfaces[ifName].AccessVLAN = 999
+			},
+			optional: true,
+		},
+		{
+			name: "l2-trunk-port-shutdown",
+			kind: dataplane.ChangeL2,
+			device: switchWhere(func(d *netmodel.Device) bool {
+				return firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.Mode == netmodel.Trunk && !itf.HasAddr() && itf.Up()
+				}) != ""
+			}),
+			apply: func(d *netmodel.Device) {
+				ifName := firstIfWhere(d, func(itf *netmodel.Interface) bool {
+					return itf.Mode == netmodel.Trunk && !itf.HasAddr() && itf.Up()
+				})
+				d.Interfaces[ifName].Shutdown = true
+			},
+			optional: true,
 		},
 	}
 }
@@ -203,6 +311,9 @@ func TestDeriveMatchesCompute(t *testing.T) {
 			t.Run(scen.Name+"/"+tc.name, func(t *testing.T) {
 				dev := tc.device(base)
 				if dev == "" {
+					if tc.optional {
+						t.Skipf("no eligible device in %s", scen.Name)
+					}
 					t.Fatalf("no eligible device in %s", scen.Name)
 				}
 				mutated := base.CloneCOW(dev)
@@ -243,6 +354,9 @@ func TestDeriveConcurrent(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				dev := tc.device(base)
+				if dev == "" {
+					return // optional case absent from this scenario
+				}
 				mutated := base.CloneCOW(dev)
 				tc.apply(mutated.Devices[dev])
 				derived := snap.Derive(mutated, dataplane.ChangeSet{{Device: dev, Kind: tc.kind}})

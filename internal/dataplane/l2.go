@@ -2,7 +2,6 @@ package dataplane
 
 import (
 	"sort"
-	"strconv"
 
 	"heimdall/internal/netmodel"
 )
@@ -24,19 +23,81 @@ func l3Endpoint(itf *netmodel.Interface) bool {
 	return itf.Up() && itf.HasAddr() && (itf.Mode == netmodel.Routed || itf.IsSVI())
 }
 
+// l2Space is an integer-indexed disjoint-set over the L2 graph's nodes:
+// L3 endpoints and per-switch VLAN domains. Comparable struct keys map to
+// dense ids, so the union-find itself is two flat slices — this sits on
+// the derivation hot path (every topology-class trial recomputes
+// adjacency), where the previous string-keyed structure spent its time
+// concatenating keys.
+type l2Space struct {
+	eps    map[netmodel.Endpoint]int
+	vls    map[l2node]int
+	parent []int
+}
+
+func newL2Space() *l2Space {
+	return &l2Space{eps: make(map[netmodel.Endpoint]int), vls: make(map[l2node]int)}
+}
+
+func (s *l2Space) node() int {
+	id := len(s.parent)
+	s.parent = append(s.parent, id)
+	return id
+}
+
+// ep returns the endpoint's node id, creating it on first use.
+func (s *l2Space) ep(e netmodel.Endpoint) int {
+	if id, ok := s.eps[e]; ok {
+		return id
+	}
+	id := s.node()
+	s.eps[e] = id
+	return id
+}
+
+// vl returns the VLAN domain's node id, creating it on first use.
+func (s *l2Space) vl(v l2node) int {
+	if id, ok := s.vls[v]; ok {
+		return id
+	}
+	id := s.node()
+	s.vls[v] = id
+	return id
+}
+
+func (s *l2Space) find(x int) int {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+func (s *l2Space) union(a, b int) {
+	ra, rb := s.find(a), s.find(b)
+	if ra != rb {
+		s.parent[ra] = rb
+	}
+}
+
 // computeAdjacency derives the L2 adjacency between all L3 endpoints of the
 // network. Two endpoints are adjacent when a frame can travel between them
 // without crossing an L3 hop: either they share a cable, or a path of
 // switch broadcast domains connects them.
 func computeAdjacency(n *netmodel.Network) adjacency {
-	// Union-find over L2 nodes plus virtual nodes for each L3 endpoint.
-	uf := newUnionFind()
+	return adjacencyFromGroups(computeL2Groups(n))
+}
 
-	epKey := func(ep netmodel.Endpoint) string { return "ep|" + ep.Device + "|" + ep.Interface }
-	vlKey := func(v l2node) string { return "vl|" + v.sw + "|" + strconv.Itoa(v.vlan) }
+// computeL2Groups partitions the network's L3 endpoints into L2 broadcast
+// components and returns each component's sorted member list. The partition
+// is the whole adjacency relation in factored form: Derive compares it
+// against a parent snapshot without paying for the per-endpoint peer
+// slices, and adjacencyFromGroups expands it when the relation did change.
+func computeL2Groups(n *netmodel.Network) [][]netmodel.Endpoint {
+	uf := newL2Space()
 
 	// Switch fabric: ports of the same VLAN on one switch share a domain
-	// implicitly via the vlKey node; inter-switch links join domains.
+	// implicitly via the vl node; inter-switch links join domains.
 	for _, l := range n.Links {
 		a, b := l.A, l.B
 		da, db := n.Devices[a.Device], n.Devices[b.Device]
@@ -49,13 +110,13 @@ func computeAdjacency(n *netmodel.Network) adjacency {
 		}
 		switch {
 		case isSwitchPort(da, ia) && isSwitchPort(db, ib):
-			joinSwitchLink(uf, vlKey, a.Device, ia, b.Device, ib)
+			joinSwitchLink(uf, a.Device, ia, b.Device, ib)
 		case isSwitchPort(da, ia) && l3Endpoint(ib) && ib.Mode == netmodel.Routed:
-			attachToSwitch(uf, vlKey, epKey(b), a.Device, ia)
+			attachToSwitch(uf, uf.ep(b), a.Device, ia)
 		case isSwitchPort(db, ib) && l3Endpoint(ia) && ia.Mode == netmodel.Routed:
-			attachToSwitch(uf, vlKey, epKey(a), b.Device, ib)
+			attachToSwitch(uf, uf.ep(a), b.Device, ib)
 		case l3Endpoint(ia) && l3Endpoint(ib):
-			uf.union(epKey(a), epKey(b))
+			uf.union(uf.ep(a), uf.ep(b))
 		}
 	}
 
@@ -70,39 +131,79 @@ func computeAdjacency(n *netmodel.Network) adjacency {
 			}
 			ep := netmodel.Endpoint{Device: devName, Interface: ifName}
 			endpoints = append(endpoints, ep)
-			uf.find(epKey(ep)) // ensure the node exists even if isolated
+			id := uf.ep(ep) // ensure the node exists even if isolated
 			if itf.IsSVI() && d.Kind == netmodel.Switch {
-				uf.union(epKey(ep), vlKey(l2node{sw: devName, vlan: itf.SVIVLAN()}))
+				uf.union(id, uf.vl(l2node{sw: devName, vlan: itf.SVIVLAN()}))
 			}
 		}
 	}
 
-	// Group endpoints by component.
-	groups := make(map[string][]netmodel.Endpoint)
+	// Group endpoints by component, each group sorted by (device, interface).
+	byRoot := make(map[int][]netmodel.Endpoint)
 	for _, ep := range endpoints {
-		root := uf.find(epKey(ep))
-		groups[root] = append(groups[root], ep)
+		root := uf.find(uf.eps[ep])
+		byRoot[root] = append(byRoot[root], ep)
 	}
-	adj := make(adjacency, len(endpoints))
-	for _, members := range groups {
+	groups := make([][]netmodel.Endpoint, 0, len(byRoot))
+	for _, members := range byRoot {
 		sort.Slice(members, func(i, j int) bool {
 			if members[i].Device != members[j].Device {
 				return members[i].Device < members[j].Device
 			}
 			return members[i].Interface < members[j].Interface
 		})
-		for _, ep := range members {
-			for _, other := range members {
-				if other != ep {
-					adj[ep] = append(adj[ep], other)
-				}
-			}
-			if adj[ep] == nil {
-				adj[ep] = []netmodel.Endpoint{}
-			}
+		groups = append(groups, members)
+	}
+	return groups
+}
+
+// adjacencyFromGroups expands the component partition into the per-endpoint
+// peer-list form the rest of the pipeline consumes. Peer lists inherit each
+// group's sorted order; isolated endpoints get a non-nil empty slice.
+func adjacencyFromGroups(groups [][]netmodel.Endpoint) adjacency {
+	total := 0
+	for _, members := range groups {
+		total += len(members)
+	}
+	adj := make(adjacency, total)
+	for _, members := range groups {
+		for i, ep := range members {
+			peers := make([]netmodel.Endpoint, 0, len(members)-1)
+			peers = append(peers, members[:i]...)
+			peers = append(peers, members[i+1:]...)
+			adj[ep] = peers
 		}
 	}
 	return adj
+}
+
+// groupsMatch reports whether the partition induces exactly the adjacency
+// relation old. Exact, not conservative: both sides are canonical — group
+// members and old peer lists are sorted — so the first member of each group
+// pins its whole component. If every group G satisfies
+// old[G[0]] == G[1:] and the endpoint totals agree, the two partitions are
+// identical (each group is then an old component, and equal totals rule out
+// old components that no group covers).
+func groupsMatch(groups [][]netmodel.Endpoint, old adjacency) bool {
+	total := 0
+	for _, members := range groups {
+		total += len(members)
+	}
+	if total != len(old) {
+		return false
+	}
+	for _, members := range groups {
+		peers, ok := old[members[0]]
+		if !ok || len(peers) != len(members)-1 {
+			return false
+		}
+		for i, p := range peers {
+			if p != members[i+1] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // isSwitchPort reports whether the interface is an L2 port on a switch.
@@ -116,23 +217,23 @@ func isSwitchPort(d *netmodel.Device, itf *netmodel.Interface) bool {
 // VLANs — faithfully reproducing the classic VLAN-mismatch misconfiguration.
 // Trunks bridge every VLAN allowed on both sides; an access-to-trunk link
 // bridges the access VLAN when the trunk allows it.
-func joinSwitchLink(uf *unionFind, vlKey func(l2node) string, swA string, ia *netmodel.Interface, swB string, ib *netmodel.Interface) {
+func joinSwitchLink(uf *l2Space, swA string, ia *netmodel.Interface, swB string, ib *netmodel.Interface) {
 	switch {
 	case ia.Mode == netmodel.Access && ib.Mode == netmodel.Access:
-		uf.union(vlKey(l2node{swA, ia.AccessVLAN}), vlKey(l2node{swB, ib.AccessVLAN}))
+		uf.union(uf.vl(l2node{swA, ia.AccessVLAN}), uf.vl(l2node{swB, ib.AccessVLAN}))
 	case ia.Mode == netmodel.Trunk && ib.Mode == netmodel.Trunk:
 		for _, v := range ia.TrunkVLANs {
 			if ib.CarriesVLAN(v) {
-				uf.union(vlKey(l2node{swA, v}), vlKey(l2node{swB, v}))
+				uf.union(uf.vl(l2node{swA, v}), uf.vl(l2node{swB, v}))
 			}
 		}
 	case ia.Mode == netmodel.Access && ib.Mode == netmodel.Trunk:
 		if ib.CarriesVLAN(ia.AccessVLAN) {
-			uf.union(vlKey(l2node{swA, ia.AccessVLAN}), vlKey(l2node{swB, ia.AccessVLAN}))
+			uf.union(uf.vl(l2node{swA, ia.AccessVLAN}), uf.vl(l2node{swB, ia.AccessVLAN}))
 		}
 	case ia.Mode == netmodel.Trunk && ib.Mode == netmodel.Access:
 		if ia.CarriesVLAN(ib.AccessVLAN) {
-			uf.union(vlKey(l2node{swA, ib.AccessVLAN}), vlKey(l2node{swB, ib.AccessVLAN}))
+			uf.union(uf.vl(l2node{swA, ib.AccessVLAN}), uf.vl(l2node{swB, ib.AccessVLAN}))
 		}
 	}
 }
@@ -140,38 +241,8 @@ func joinSwitchLink(uf *unionFind, vlKey func(l2node) string, swA string, ia *ne
 // attachToSwitch joins an L3 endpoint to the VLAN domain behind a switch
 // port. Only access ports attach routed neighbours (router-on-a-trunk
 // subinterfaces are out of scope).
-func attachToSwitch(uf *unionFind, vlKey func(l2node) string, epNode string, sw string, port *netmodel.Interface) {
+func attachToSwitch(uf *l2Space, epNode int, sw string, port *netmodel.Interface) {
 	if port.Mode == netmodel.Access {
-		uf.union(epNode, vlKey(l2node{sw, port.AccessVLAN}))
-	}
-}
-
-// unionFind is a string-keyed disjoint-set structure.
-type unionFind struct {
-	parent map[string]string
-}
-
-func newUnionFind() *unionFind {
-	return &unionFind{parent: make(map[string]string)}
-}
-
-func (u *unionFind) find(x string) string {
-	p, ok := u.parent[x]
-	if !ok {
-		u.parent[x] = x
-		return x
-	}
-	if p == x {
-		return x
-	}
-	root := u.find(p)
-	u.parent[x] = root
-	return root
-}
-
-func (u *unionFind) union(a, b string) {
-	ra, rb := u.find(a), u.find(b)
-	if ra != rb {
-		u.parent[ra] = rb
+		uf.union(epNode, uf.vl(l2node{sw, port.AccessVLAN}))
 	}
 }

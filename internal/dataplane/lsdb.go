@@ -1,0 +1,501 @@
+package dataplane
+
+import (
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"heimdall/internal/netmodel"
+)
+
+// The OSPF link-state pass is built around an explicit, canonical LSDB.
+// buildLSDB distills a network's OSPF configuration plus the L2 adjacency
+// into an index-addressed router graph; the SPF pass, the per-source
+// component fingerprints that let Derive reuse unchanged shortest-path
+// results, and the whole-LSDB memo key all read from this one structure.
+
+// lsdbEdge is one adjacency edge of the OSPF router graph.
+type lsdbEdge struct {
+	peer     int // index into sources
+	localIf  string
+	peerAddr netip.Addr
+	cost     int
+}
+
+// ospfLSDB is the link-state database: every OSPF router, its graph edges,
+// and its advertised prefixes, all index-addressed and deterministically
+// ordered. Two LSDBs with equal canonical serializations produce identical
+// SPF results; two sources with equal component fingerprints produce
+// identical per-source routes even across different LSDBs.
+type ospfLSDB struct {
+	sources []string       // router names, sorted
+	index   map[string]int // name -> index into sources
+	graph   [][]lsdbEdge   // per source, sorted by (peer, localIf, peerAddr, cost)
+	adv     [][]netip.Prefix
+	advSet  []map[netip.Prefix]bool
+	// rank maps every advertised prefix to its position in the global
+	// lexical prefix-string order — per-source emission walks ranks in
+	// order, which reproduces the String() order the route slices have
+	// always used. ranked is the inverse (rank -> prefix).
+	rank   map[netip.Prefix]int
+	ranked []netip.Prefix
+
+	// Fingerprints are lazy: most LSDBs are built, SPF'd, and discarded
+	// without ever being diffed against another.
+	fpOnce sync.Once
+	fps    []string // per-source canonical serialization of its component
+	key    string   // canonical serialization of the whole LSDB
+}
+
+// ospfInterface describes one OSPF-participating interface.
+type ospfInterface struct {
+	dev     string
+	name    string
+	addr    netip.Prefix
+	area    int
+	passive bool
+}
+
+// buildLSDB collects the OSPF router graph and advertisements for n.
+//
+// Adjacency forms between two interfaces when they are L2-adjacent, share a
+// subnet and an area, and neither is passive. Every enabled interface's
+// subnet (including passive ones) is advertised. Costs are hop counts
+// unless an explicit OSPFCost is set. Inter-area routing follows the
+// standard area-0 backbone rule implicitly: the router graph spans all
+// areas, but edges only exist inside one area, so traffic crosses areas
+// only through routers with interfaces in both.
+func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
+	participants := make(map[netmodel.Endpoint]ospfInterface)
+	routers := make(map[string]bool)
+	for _, devName := range n.DeviceNames() {
+		d := n.Devices[devName]
+		if d.OSPF == nil {
+			continue
+		}
+		for _, ifName := range d.InterfaceNames() {
+			itf := d.Interfaces[ifName]
+			if !l3Endpoint(itf) {
+				continue
+			}
+			area, ok := d.OSPF.EnabledArea(itf.Addr.Addr())
+			if !ok {
+				continue
+			}
+			ep := netmodel.Endpoint{Device: devName, Interface: ifName}
+			participants[ep] = ospfInterface{
+				dev: devName, name: ifName, addr: itf.Addr,
+				area: area, passive: d.OSPF.Passive[ifName],
+			}
+			routers[devName] = true
+		}
+	}
+	l := &ospfLSDB{index: make(map[string]int, len(routers))}
+	if len(routers) == 0 {
+		return l
+	}
+	l.sources = make([]string, 0, len(routers))
+	for src := range routers {
+		l.sources = append(l.sources, src)
+	}
+	sort.Strings(l.sources)
+	for i, src := range l.sources {
+		l.index[src] = i
+	}
+
+	// Router graph: edge source->peer via (localIf, peerAddr).
+	l.graph = make([][]lsdbEdge, len(l.sources))
+	for ep, oi := range participants {
+		if oi.passive {
+			continue
+		}
+		cost := 1
+		if itf := n.Devices[oi.dev].Interface(oi.name); itf != nil && itf.OSPFCost > 0 {
+			cost = itf.OSPFCost
+		}
+		si := l.index[oi.dev]
+		for _, other := range adj[ep] {
+			po, ok := participants[other]
+			if !ok || po.passive || po.dev == oi.dev {
+				continue
+			}
+			if oi.area != po.area {
+				continue // area mismatch: no adjacency
+			}
+			if !oi.addr.Masked().Contains(po.addr.Addr()) {
+				continue // different subnets cannot peer
+			}
+			l.graph[si] = append(l.graph[si], lsdbEdge{
+				peer: l.index[po.dev], localIf: oi.name, peerAddr: po.addr.Addr(), cost: cost,
+			})
+		}
+	}
+	// Participants iterate in map order; sort each edge list into the
+	// canonical order (peer index order == peer name order, since sources
+	// are sorted).
+	for si := range l.graph {
+		edges := l.graph[si]
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].peer != edges[j].peer {
+				return edges[i].peer < edges[j].peer
+			}
+			if edges[i].localIf != edges[j].localIf {
+				return edges[i].localIf < edges[j].localIf
+			}
+			if edges[i].peerAddr != edges[j].peerAddr {
+				return edges[i].peerAddr.Less(edges[j].peerAddr)
+			}
+			return edges[i].cost < edges[j].cost
+		})
+	}
+
+	// Advertised prefixes per router (all enabled interfaces, passive too),
+	// plus the global lexical rank used for deterministic emission.
+	l.advSet = make([]map[netip.Prefix]bool, len(l.sources))
+	for _, oi := range participants {
+		si := l.index[oi.dev]
+		if l.advSet[si] == nil {
+			l.advSet[si] = make(map[netip.Prefix]bool)
+		}
+		l.advSet[si][oi.addr.Masked()] = true
+	}
+	all := make(map[netip.Prefix]bool)
+	for _, set := range l.advSet {
+		for p := range set {
+			all[p] = true
+		}
+	}
+	type ranked struct {
+		p netip.Prefix
+		s string
+	}
+	order := make([]ranked, 0, len(all))
+	for p := range all {
+		order = append(order, ranked{p, prefixString(p)})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].s < order[j].s })
+	l.rank = make(map[netip.Prefix]int, len(order))
+	l.ranked = make([]netip.Prefix, len(order))
+	for i, r := range order {
+		l.rank[r.p] = i
+		l.ranked[i] = r.p
+	}
+	l.adv = make([][]netip.Prefix, len(l.sources))
+	for si, set := range l.advSet {
+		ps := make([]netip.Prefix, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
+		l.adv[si] = ps
+	}
+	return l
+}
+
+// routes runs the SPF pass for every source and returns per-device OSPF
+// FIB entries, or nil when no router participates. Sources are independent
+// given the read-only LSDB, so they fan out over a bounded pool; each
+// writes into an index-addressed slot, so the result is identical to a
+// serial run. Route emission is sorted (prefix string, then hop), making
+// the per-device route slices deterministic — Derive relies on this to
+// reproduce a from-scratch Compute byte for byte.
+func (l *ospfLSDB) routes() map[string][]FIBEntry {
+	if len(l.sources) == 0 {
+		return nil
+	}
+	slots := make([][]FIBEntry, len(l.sources))
+	fanOut(len(l.sources), func(i int) {
+		slots[i] = l.routesFrom(i)
+	})
+	out := make(map[string][]FIBEntry, len(l.sources))
+	for i, src := range l.sources {
+		if len(slots[i]) > 0 {
+			out[src] = slots[i]
+		}
+	}
+	return out
+}
+
+// ospfHop is one candidate first hop toward a destination.
+type ospfHop struct {
+	outIf string
+	via   netip.Addr
+}
+
+// addHop appends h unless already present. First-hop sets are tiny (ECMP
+// fan-out), so the linear scan beats a map.
+func addHop(hops []ospfHop, h ospfHop) []ospfHop {
+	for _, x := range hops {
+		if x == h {
+			return hops
+		}
+	}
+	return append(hops, h)
+}
+
+// routesFrom runs the single-source Dijkstra over the indexed graph and
+// returns the source router's OSPF routes in deterministic (prefix string,
+// hop) order, or nil when it has none.
+func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
+	nv := len(l.sources)
+	const unreached = -1
+	dist := make([]int, nv)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[si] = 0
+	settled := make([]bool, nv)
+	hops := make([][]ospfHop, nv)
+	for {
+		// Select the unsettled node with the smallest distance. The lowest
+		// index wins ties, which is exactly the name order the map-based
+		// implementation tie-broke by; since every edge cost is >= 1,
+		// equal-distance nodes never relax each other, so the tie order
+		// cannot change any first-hop set anyway.
+		cur, best := -1, -1
+		for i := 0; i < nv; i++ {
+			if settled[i] || dist[i] == unreached {
+				continue
+			}
+			if best < 0 || dist[i] < best {
+				cur, best = i, dist[i]
+			}
+		}
+		if cur < 0 {
+			break
+		}
+		settled[cur] = true
+		for _, e := range l.graph[cur] {
+			nd := dist[cur] + e.cost
+			switch old := dist[e.peer]; {
+			case old == unreached || nd < old:
+				dist[e.peer] = nd
+				hops[e.peer] = hops[e.peer][:0]
+			case nd > old:
+				continue
+			}
+			// Propagate first hops for equal-or-new best paths.
+			if cur == si {
+				hops[e.peer] = addHop(hops[e.peer], ospfHop{outIf: e.localIf, via: e.peerAddr})
+			} else {
+				for _, h := range hops[cur] {
+					hops[e.peer] = addHop(hops[e.peer], h)
+				}
+			}
+		}
+	}
+
+	// Best metric and first-hop union per remote advertised prefix. Every
+	// advertiser at the globally best distance contributes its first hops;
+	// farther advertisers contribute nothing — equivalent to the per-hop
+	// minimum the map-based implementation kept, because a hop's minimum
+	// over advertisers equals the global minimum whenever the hop reaches a
+	// best-distance advertiser, and hops that don't are filtered either way.
+	//
+	// Accumulation is rank-indexed: the global prefix rank doubles as the
+	// dedup key (no per-prefix map or pointer allocations) and as the
+	// emission order, so the final walk needs no sort. A best of 0 marks an
+	// untouched slot — real OSPF metrics are always >= 1.
+	type prefRoute struct {
+		best int
+		hops []ospfHop
+	}
+	acc := make([]prefRoute, len(l.ranked))
+	localRank := make([]bool, len(l.ranked))
+	for _, p := range l.adv[si] {
+		localRank[l.rank[p]] = true
+	}
+	any := false
+	for di := 0; di < nv; di++ {
+		if di == si || len(hops[di]) == 0 {
+			continue
+		}
+		for _, p := range l.adv[di] {
+			ri := l.rank[p]
+			if localRank[ri] {
+				continue // connected beats OSPF anyway
+			}
+			a := &acc[ri]
+			if a.best == 0 || dist[di] < a.best {
+				a.best = dist[di]
+				a.hops = a.hops[:0]
+				any = true
+			}
+			if dist[di] == a.best {
+				for _, h := range hops[di] {
+					a.hops = addHop(a.hops, h)
+				}
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	out := make([]FIBEntry, 0, len(l.ranked))
+	for ri := range acc {
+		a := &acc[ri]
+		if a.best == 0 {
+			continue
+		}
+		sort.Slice(a.hops, func(i, j int) bool {
+			if a.hops[i].via != a.hops[j].via {
+				return a.hops[i].via.Less(a.hops[j].via)
+			}
+			return a.hops[i].outIf < a.hops[j].outIf
+		})
+		for _, h := range a.hops {
+			out = append(out, FIBEntry{
+				Prefix: l.ranked[ri], Proto: OSPF, NextHop: h.via, OutIf: h.outIf,
+				AD: OSPF.adminDistance(), Metric: a.best,
+			})
+		}
+	}
+	return out
+}
+
+// fingerprint returns the canonical serialization of the named source's
+// connected component, or false when the source is not an OSPF router.
+// SPF from a source only ever visits its component, and emission order
+// within a component depends only on prefix strings and names, so equal
+// fingerprints guarantee identical routesFrom output — even between LSDBs
+// that differ elsewhere.
+func (l *ospfLSDB) fingerprint(name string) (string, bool) {
+	i, ok := l.index[name]
+	if !ok {
+		return "", false
+	}
+	l.fpOnce.Do(l.computeFingerprints)
+	return l.fps[i], true
+}
+
+// canonicalKey returns the canonical serialization of the whole LSDB —
+// the SPF memo key. Equal keys mean equal routes() output.
+func (l *ospfLSDB) canonicalKey() string {
+	l.fpOnce.Do(l.computeFingerprints)
+	return l.key
+}
+
+func (l *ospfLSDB) computeFingerprints() {
+	nv := len(l.sources)
+	// Per-node canonical serialization. Peers are named, not indexed, so
+	// serializations compare across LSDBs whose router sets differ; edge
+	// lists are already in peer-name order and advertisements in global
+	// prefix-string order.
+	nodeStr := make([]string, nv)
+	for i := 0; i < nv; i++ {
+		var b strings.Builder
+		b.WriteString("n=")
+		b.WriteString(l.sources[i])
+		b.WriteByte('\n')
+		for _, e := range l.graph[i] {
+			b.WriteString("e=")
+			b.WriteString(l.sources[e.peer])
+			b.WriteByte('|')
+			b.WriteString(e.localIf)
+			b.WriteByte('|')
+			b.WriteString(e.peerAddr.String()) // Addr, not Prefix: no intern
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(e.cost))
+			b.WriteByte('\n')
+		}
+		for _, p := range l.adv[i] {
+			b.WriteString("a=")
+			b.WriteString(prefixString(p))
+			b.WriteByte('\n')
+		}
+		nodeStr[i] = b.String()
+	}
+
+	// Undirected connected components: subnet containment can be
+	// asymmetric, so an edge in either direction couples two nodes' SPF
+	// results and they must share a fingerprint scope.
+	parent := make([]int, nv)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < nv; i++ {
+		for _, e := range l.graph[i] {
+			ri, rp := find(i), find(e.peer)
+			if ri != rp {
+				parent[ri] = rp
+			}
+		}
+	}
+	members := make(map[int][]int)
+	for i := 0; i < nv; i++ {
+		members[find(i)] = append(members[find(i)], i)
+	}
+	l.fps = make([]string, nv)
+	for _, m := range members {
+		sort.Ints(m)
+		var b strings.Builder
+		for _, i := range m {
+			b.WriteString(nodeStr[i])
+		}
+		fp := b.String()
+		for _, i := range m {
+			l.fps[i] = fp
+		}
+	}
+	l.key = strings.Join(nodeStr, "")
+}
+
+// SPFMemo memoizes whole link-state results across snapshot derivations,
+// keyed by the canonical LSDB serialization. Distinct trials that produce
+// an identical L3 graph (every VLAN mutation on a pure-L2 switch, repeated
+// interface-downs that isolate the same stub) share one SPF computation.
+// Safe for concurrent use; stored route maps are shared across goroutines
+// and must be treated as immutable by every consumer.
+type SPFMemo struct {
+	mu     sync.RWMutex
+	m      map[string]map[string][]FIBEntry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSPFMemo returns an empty memo, typically one per sweep.
+func NewSPFMemo() *SPFMemo {
+	return &SPFMemo{m: make(map[string]map[string][]FIBEntry)}
+}
+
+// lookup returns the memoized routes for key, counting a hit or miss.
+func (m *SPFMemo) lookup(key string) (map[string][]FIBEntry, bool) {
+	m.mu.RLock()
+	routes, ok := m.m[key]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return routes, ok
+}
+
+// store memoizes routes under key and returns the canonical map: the first
+// writer wins, so every concurrent caller converges on one shared result.
+func (m *SPFMemo) store(key string, routes map[string][]FIBEntry) map[string][]FIBEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prior, ok := m.m[key]; ok {
+		return prior
+	}
+	m.m[key] = routes
+	return routes
+}
+
+// Stats returns the cumulative lookup hit and miss counts.
+func (m *SPFMemo) Stats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}

@@ -4,9 +4,25 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"heimdall/internal/netmodel"
 )
+
+// prefixStrings interns netip.Prefix -> String() results. Sorting RIBs and
+// serializing LSDBs stringify the same few hundred scenario prefixes on
+// every trial of a sweep; the cache is bounded by the distinct prefixes a
+// process ever routes, which is small and stable.
+var prefixStrings sync.Map
+
+func prefixString(p netip.Prefix) string {
+	if v, ok := prefixStrings.Load(p); ok {
+		return v.(string)
+	}
+	s := p.String()
+	prefixStrings.Store(p, s)
+	return s
+}
 
 // RouteProto identifies how a route was learned.
 type RouteProto int
@@ -83,7 +99,8 @@ func (e FIBEntry) String() string {
 // administrative distance, then metric), with ECMP preserved.
 func ribFor(n *netmodel.Network, dev string, adj adjacency, ospfRoutes, bgpRoutes map[string][]FIBEntry) []FIBEntry {
 	d := n.Devices[dev]
-	var all []FIBEntry
+	all := make([]FIBEntry, 0,
+		len(d.Interfaces)+len(d.StaticRoutes)+1+len(ospfRoutes[dev])+len(bgpRoutes[dev]))
 
 	// Connected.
 	for _, ifName := range d.InterfaceNames() {
@@ -130,34 +147,32 @@ func ribFor(n *netmodel.Network, dev string, adj adjacency, ospfRoutes, bgpRoute
 }
 
 // bestPaths keeps, for every prefix, only the entries with the lowest
-// (AD, metric), preserving equal-cost multipath.
+// (AD, metric), preserving equal-cost multipath. Two passes over the input
+// (find each prefix's best, then filter) avoid building per-prefix groups —
+// this runs once per rebuilt RIB, so its allocations dominate derivation.
 func bestPaths(entries []FIBEntry) []FIBEntry {
-	byPrefix := make(map[netip.Prefix][]FIBEntry)
+	type adMetric struct{ ad, metric int }
+	best := make(map[netip.Prefix]adMetric, len(entries))
 	for _, e := range entries {
-		byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
-	}
-	var out []FIBEntry
-	for _, group := range byPrefix {
-		bestAD, bestMetric := 256, 1<<30
-		for _, e := range group {
-			if e.AD < bestAD || (e.AD == bestAD && e.Metric < bestMetric) {
-				bestAD, bestMetric = e.AD, e.Metric
-			}
+		b, ok := best[e.Prefix]
+		if !ok || e.AD < b.ad || (e.AD == b.ad && e.Metric < b.metric) {
+			best[e.Prefix] = adMetric{e.AD, e.Metric}
 		}
-		for _, e := range group {
-			if e.AD == bestAD && e.Metric == bestMetric {
-				out = append(out, e)
-			}
+	}
+	out := make([]FIBEntry, 0, len(entries))
+	for _, e := range entries {
+		if b := best[e.Prefix]; e.AD == b.ad && e.Metric == b.metric {
+			out = append(out, e)
 		}
 	}
 	// The lexical prefix-string order is load-bearing: entries[0] is the
 	// default ECMP selection, so the comparator must reproduce it exactly.
 	// Stringify each entry's prefix once instead of O(n log n) times —
 	// distinct prefixes always render distinct strings, so comparing the
-	// cached keys is the same order the old comparator produced.
+	// cached (interned) keys is the same order the old comparator produced.
 	keys := make([]string, len(out))
 	for i := range out {
-		keys[i] = out[i].Prefix.String()
+		keys[i] = prefixString(out[i].Prefix)
 	}
 	sort.Sort(&ribOrder{entries: out, keys: keys})
 	return out
@@ -182,234 +197,4 @@ func (r *ribOrder) Less(i, j int) bool {
 		return r.entries[i].NextHop.Less(r.entries[j].NextHop)
 	}
 	return r.entries[i].OutIf < r.entries[j].OutIf
-}
-
-// ospfInterface describes one OSPF-participating interface.
-type ospfInterface struct {
-	dev     string
-	name    string
-	addr    netip.Prefix
-	area    int
-	passive bool
-}
-
-// computeOSPF runs the link-state computation for the whole network and
-// returns per-device OSPF FIB entries.
-//
-// Adjacency forms between two interfaces when they are L2-adjacent, share a
-// subnet and an area, and neither is passive. Every enabled interface's
-// subnet (including passive ones) is advertised. Costs are hop counts.
-// Inter-area routing follows the standard area-0 backbone rule implicitly:
-// the router graph spans all areas, but edges only exist inside one area,
-// so traffic crosses areas only through routers with interfaces in both.
-func computeOSPF(n *netmodel.Network, adj adjacency) map[string][]FIBEntry {
-	// Collect participating interfaces.
-	participants := make(map[netmodel.Endpoint]ospfInterface)
-	routers := make(map[string]bool)
-	for _, devName := range n.DeviceNames() {
-		d := n.Devices[devName]
-		if d.OSPF == nil {
-			continue
-		}
-		for _, ifName := range d.InterfaceNames() {
-			itf := d.Interfaces[ifName]
-			if !l3Endpoint(itf) {
-				continue
-			}
-			area, ok := d.OSPF.EnabledArea(itf.Addr.Addr())
-			if !ok {
-				continue
-			}
-			ep := netmodel.Endpoint{Device: devName, Interface: ifName}
-			participants[ep] = ospfInterface{
-				dev: devName, name: ifName, addr: itf.Addr,
-				area: area, passive: d.OSPF.Passive[ifName],
-			}
-			routers[devName] = true
-		}
-	}
-	if len(routers) == 0 {
-		return nil
-	}
-
-	// Build the router graph: edge dev->dev via (localIf, peerAddr).
-	graph := make(map[string][]ospfEdge)
-	for ep, oi := range participants {
-		if oi.passive {
-			continue
-		}
-		cost := 1
-		if itf := n.Devices[oi.dev].Interface(oi.name); itf != nil && itf.OSPFCost > 0 {
-			cost = itf.OSPFCost
-		}
-		for _, other := range adj[ep] {
-			po, ok := participants[other]
-			if !ok || po.passive || po.dev == oi.dev {
-				continue
-			}
-			if oi.area != po.area {
-				continue // area mismatch: no adjacency
-			}
-			if !oi.addr.Masked().Contains(po.addr.Addr()) {
-				continue // different subnets cannot peer
-			}
-			graph[oi.dev] = append(graph[oi.dev], ospfEdge{
-				peer: po.dev, localIf: oi.name, peerAddr: po.addr.Addr(), cost: cost,
-			})
-		}
-	}
-
-	// Advertised prefixes per router (all enabled interfaces).
-	advertised := make(map[string]map[netip.Prefix]bool)
-	for _, oi := range participants {
-		if advertised[oi.dev] == nil {
-			advertised[oi.dev] = make(map[netip.Prefix]bool)
-		}
-		advertised[oi.dev][oi.addr.Masked()] = true
-	}
-
-	// Per-source weighted Dijkstra with equal-cost multipath: settle nodes
-	// in nondecreasing distance order, merging first-hop sets on ties.
-	// Sources are independent given the (now read-only) graph and
-	// advertisement maps, so they fan out over a bounded pool; each source
-	// writes its routes into an index-addressed slot and the merge walks
-	// slots in sorted-source order, so the result is identical to a serial
-	// run. Route emission is sorted (prefix string, then hop), making the
-	// per-device route slices deterministic — Derive relies on this to
-	// reproduce a from-scratch Compute byte for byte.
-	sources := make([]string, 0, len(routers))
-	for src := range routers {
-		sources = append(sources, src)
-	}
-	sort.Strings(sources)
-	slots := make([][]FIBEntry, len(sources))
-	fanOut(len(sources), func(i int) {
-		slots[i] = ospfRoutesFrom(sources[i], graph, advertised)
-	})
-	out := make(map[string][]FIBEntry, len(sources))
-	for i, src := range sources {
-		if len(slots[i]) > 0 {
-			out[src] = slots[i]
-		}
-	}
-	return out
-}
-
-// ospfHop is one candidate first hop toward a destination.
-type ospfHop struct {
-	outIf string
-	via   netip.Addr
-}
-
-// ospfEdge is one adjacency edge of the OSPF router graph.
-type ospfEdge struct {
-	peer     string
-	localIf  string
-	peerAddr netip.Addr
-	cost     int
-}
-
-// ospfRoutesFrom runs the single-source Dijkstra and returns the source
-// router's OSPF routes in deterministic (prefix string, hop) order.
-func ospfRoutesFrom(src string, graph map[string][]ospfEdge, advertised map[string]map[netip.Prefix]bool) []FIBEntry {
-	type hop = ospfHop
-	dist := map[string]int{src: 0}
-	firstHops := make(map[string]map[hop]bool)
-	settled := make(map[string]bool)
-	for {
-		// Select the unsettled node with the smallest distance,
-		// deterministically tie-broken by name (graphs are tiny, so
-		// linear selection beats a heap here).
-		cur, best := "", -1
-		for name, d := range dist {
-			if settled[name] {
-				continue
-			}
-			if best < 0 || d < best || (d == best && name < cur) {
-				cur, best = name, d
-			}
-		}
-		if cur == "" {
-			break
-		}
-		settled[cur] = true
-		edges := append([]ospfEdge(nil), graph[cur]...)
-		sort.Slice(edges, func(i, j int) bool { return edges[i].peer < edges[j].peer })
-		for _, e := range edges {
-			nd := dist[cur] + e.cost
-			old, seen := dist[e.peer]
-			switch {
-			case !seen || nd < old:
-				dist[e.peer] = nd
-				firstHops[e.peer] = make(map[hop]bool)
-			case nd > old:
-				continue
-			}
-			// Propagate first hops for equal-or-new best paths.
-			if cur == src {
-				firstHops[e.peer][hop{e.localIf, e.peerAddr}] = true
-			} else {
-				for h := range firstHops[cur] {
-					firstHops[e.peer][h] = true
-				}
-			}
-		}
-	}
-
-	// Routes to every remote advertised prefix.
-	local := advertised[src]
-	routes := make(map[netip.Prefix]map[hop]int)
-	for dst, hops := range firstHops {
-		for p := range advertised[dst] {
-			if local[p] {
-				continue // connected beats OSPF anyway
-			}
-			for h := range hops {
-				cur, ok := routes[p]
-				if !ok {
-					cur = make(map[hop]int)
-					routes[p] = cur
-				}
-				if old, seen := cur[h]; !seen || dist[dst] < old {
-					cur[h] = dist[dst]
-				}
-			}
-		}
-	}
-
-	// Emit best equal-cost hops per prefix in sorted order.
-	prefixes := make([]netip.Prefix, 0, len(routes))
-	for p := range routes {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
-	var out []FIBEntry
-	for _, p := range prefixes {
-		hops := routes[p]
-		best := 1 << 30
-		for _, m := range hops {
-			if m < best {
-				best = m
-			}
-		}
-		keep := make([]hop, 0, len(hops))
-		for h, m := range hops {
-			if m == best {
-				keep = append(keep, h)
-			}
-		}
-		sort.Slice(keep, func(i, j int) bool {
-			if keep[i].via != keep[j].via {
-				return keep[i].via.Less(keep[j].via)
-			}
-			return keep[i].outIf < keep[j].outIf
-		})
-		for _, h := range keep {
-			out = append(out, FIBEntry{
-				Prefix: p, Proto: OSPF, NextHop: h.via, OutIf: h.outIf,
-				AD: OSPF.adminDistance(), Metric: best,
-			})
-		}
-	}
-	return out
 }

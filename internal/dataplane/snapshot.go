@@ -65,6 +65,10 @@ type Snapshot struct {
 	bgpRoutes  map[string][]FIBEntry
 	// owner maps every up interface address to its endpoint.
 	owner map[netip.Addr]netmodel.Endpoint
+	// lsdb is the link-state database ospfRoutes was computed from,
+	// retained so Derive can diff it against a mutated network's LSDB and
+	// recompute SPF only for sources whose result can actually change.
+	lsdb *ospfLSDB
 	// flows memoizes Reach results (per snapshot, concurrency-safe).
 	flows *flowCache
 }
@@ -76,7 +80,8 @@ func Compute(n *netmodel.Network) *Snapshot { return ComputeWithOptions(n, Optio
 // ComputeWithOptions builds a snapshot with explicit options.
 func ComputeWithOptions(n *netmodel.Network, opts Options) *Snapshot {
 	adj := computeAdjacency(n)
-	ospfRoutes := computeOSPF(n, adj)
+	lsdb := buildLSDB(n, adj)
+	ospfRoutes := lsdb.routes()
 	bgpRoutes := computeBGP(n, adj)
 	s := &Snapshot{
 		net:        n,
@@ -86,6 +91,7 @@ func ComputeWithOptions(n *netmodel.Network, opts Options) *Snapshot {
 		ospfRoutes: ospfRoutes,
 		bgpRoutes:  bgpRoutes,
 		owner:      buildOwner(n),
+		lsdb:       lsdb,
 		flows:      newFlowCache(opts.Meter),
 	}
 	s.ribs, s.fibs = buildRIBs(n, n.DeviceNames(), adj, ospfRoutes, bgpRoutes)
@@ -117,15 +123,19 @@ func buildRIBs(n *netmodel.Network, devs []string, adj adjacency,
 	return ribs, fibs
 }
 
-// fibFrom builds the longest-prefix-match table for one device's RIB.
+// fibFrom builds the longest-prefix-match table for one device's RIB. The
+// RIB is sorted by prefix (ribFor's contract), so equal-prefix entries are
+// contiguous: each run becomes one Insert, aliasing the RIB's backing array
+// (both structures are immutable once the snapshot is built).
 func fibFrom(rib []FIBEntry) *LPM {
 	fib := &LPM{}
-	byPrefix := make(map[netip.Prefix][]FIBEntry)
-	for _, e := range rib {
-		byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
-	}
-	for p, entries := range byPrefix {
-		fib.Insert(p, entries)
+	for i := 0; i < len(rib); {
+		j := i + 1
+		for j < len(rib) && rib[j].Prefix == rib[i].Prefix {
+			j++
+		}
+		fib.Insert(rib[i].Prefix, rib[i:j:j])
+		i = j
 	}
 	return fib
 }

@@ -145,9 +145,11 @@ func (d *Decision) Reason() string {
 func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) *Decision {
 	d := &Decision{}
 
-	// Privilege check: every change must be authorized.
+	// Privilege check: every change must be authorized. The compiled form
+	// evaluates each change without rescanning (or re-splitting) the rules.
+	compiled := spec.Compile()
 	for _, c := range changes {
-		if !spec.Allows(c.Action(), c.Resource()) {
+		if !compiled.Allows(c.Action(), c.Resource()) {
 			d.Unauthorized = append(d.Unauthorized, c)
 		}
 	}
@@ -201,7 +203,7 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	if prodSnap != nil {
 		cs := make(dataplane.ChangeSet, 0, len(changes))
 		for _, c := range changes {
-			cs = append(cs, dataplane.Change{Device: c.Device, Kind: changeKindFor(c)})
+			cs = append(cs, dataplane.Change{Device: c.Device, Kind: changeKindFor(prod, c)})
 		}
 		shadowSnap = prodSnap.Derive(shadow, cs)
 	} else {
@@ -224,11 +226,14 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	return d
 }
 
-// changeKindFor maps a configuration op onto the dataplane change class it
-// can affect, for snapshot derivation. Interface and VLAN ops fall into the
-// conservative topology class (full recompute) because they can alter L2
-// adjacency or address ownership.
-func changeKindFor(c config.Change) dataplane.ChangeKind {
+// changeKindFor maps a configuration op onto the narrowest dataplane
+// change class it can affect, for snapshot derivation. VLAN ops only edit
+// the switching fabric. Interface ops are L2-class when the interface is
+// L2-only (access/trunk or unaddressed, never an SVI) both before and
+// after the change, and L3-topology otherwise — every config op is
+// confined to its named device, so the conservative full-recompute class
+// is reserved for ops the switch doesn't recognize.
+func changeKindFor(prod *netmodel.Network, c config.Change) dataplane.ChangeKind {
 	switch c.Op {
 	case config.OpAddACLEntry, config.OpRemoveACLEntry, config.OpRemoveACL:
 		return dataplane.ChangeACL
@@ -238,9 +243,31 @@ func changeKindFor(c config.Change) dataplane.ChangeKind {
 		return dataplane.ChangeOSPF
 	case config.OpSetBGP, config.OpRemoveBGP:
 		return dataplane.ChangeBGP
+	case config.OpSetVLAN, config.OpRemoveVLAN:
+		return dataplane.ChangeL2
+	case config.OpAddInterface, config.OpSetInterface:
+		if netmodel.InterfaceL2Only(c.Interface) && priorInterfaceL2Only(prod, c) {
+			return dataplane.ChangeL2
+		}
+		return dataplane.ChangeL3Topology
 	default:
 		return dataplane.ChangeTopology
 	}
+}
+
+// priorInterfaceL2Only reports whether the interface a change replaces was
+// absent or L2-only in production — replacing an addressed routed port is
+// an L3 change even when its replacement is L2-only.
+func priorInterfaceL2Only(prod *netmodel.Network, c config.Change) bool {
+	if c.Interface == nil {
+		return false
+	}
+	d := prod.Devices[c.Device]
+	if d == nil {
+		return false
+	}
+	old := d.Interface(c.Interface.Name)
+	return old == nil || netmodel.InterfaceL2Only(old)
 }
 
 // countReview records one review outcome.

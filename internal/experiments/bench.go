@@ -37,13 +37,21 @@ type BenchReport struct {
 	DeriveStaticNsOp  float64 `json:"derive_static_ns_op"`
 	DeriveACLNsOp     float64 `json:"derive_acl_ns_op"`
 	DeriveOSPFNsOp    float64 `json:"derive_ospf_ns_op"`
+	DeriveL2NsOp      float64 `json:"derive_l2_ns_op"`
+	DeriveL3TopoNsOp  float64 `json:"derive_l3topo_ns_op"`
 	DeriveStaticSpeed float64 `json:"derive_static_speedup"`
 	DeriveACLSpeed    float64 `json:"derive_acl_speedup"`
+	DeriveL2Speed     float64 `json:"derive_l2_speedup"`
 
 	// FlowCacheHitRate is hits/(hits+misses) over two consecutive full
 	// policy verifications on one university snapshot (the warm-verify
 	// pattern AffectedBy leans on).
 	FlowCacheHitRate float64 `json:"flowcache_hit_rate"`
+
+	// SPFMemoHitRate is hits/(hits+misses) of the per-sweep SPF memo over
+	// the bounded Figure 9 sweep: the fraction of link-state passes whose
+	// canonical LSDB had already been solved by an earlier trial.
+	SPFMemoHitRate float64 `json:"spf_memo_hit_rate"`
 }
 
 // timeIt runs fn count times and returns mean ns/op.
@@ -70,8 +78,11 @@ func RunBench() BenchReport {
 	r.Figure8SerialSeconds = time.Since(start).Seconds()
 
 	start = time.Now()
-	Figure89(uni, 8, 1)
+	_, ev := figure89Instrumented(uni, 8, 1)
 	r.Figure9BoundedSeconds = time.Since(start).Seconds()
+	if hits, misses := ev.SPFMemoStats(); hits+misses > 0 {
+		r.SPFMemoHitRate = float64(hits) / float64(hits+misses)
+	}
 
 	for _, scen := range []*scenarios.Scenario{ent, uni} {
 		scen := scen
@@ -115,11 +126,30 @@ func RunBench() BenchReport {
 		}
 		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeOSPF}})
 	})
+	r.DeriveL2NsOp = timeIt(200, func() {
+		trial := base.CloneCOW("r2")
+		trial.Devices["r2"].VLANs[999] = &netmodel.VLAN{ID: 999, Name: "qa"}
+		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeL2}})
+	})
+	r.DeriveL3TopoNsOp = timeIt(20, func() {
+		trial := base.CloneCOW("r2")
+		d := trial.Devices["r2"]
+		for _, ifName := range d.InterfaceNames() {
+			if itf := d.Interfaces[ifName]; itf.Up() && itf.HasAddr() {
+				itf.Shutdown = true
+				break
+			}
+		}
+		snap.Derive(trial, dataplane.ChangeSet{{Device: "r2", Kind: dataplane.ChangeL3Topology}})
+	})
 	if r.DeriveStaticNsOp > 0 {
 		r.DeriveStaticSpeed = r.FullComputeNsOp / r.DeriveStaticNsOp
 	}
 	if r.DeriveACLNsOp > 0 {
 		r.DeriveACLSpeed = r.FullComputeNsOp / r.DeriveACLNsOp
+	}
+	if r.DeriveL2NsOp > 0 {
+		r.DeriveL2Speed = r.FullComputeNsOp / r.DeriveL2NsOp
 	}
 
 	// Flow-cache hit rate over a cold + warm verification pass.

@@ -1,0 +1,130 @@
+package privilege
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCompiledMatchesEvaluate pins the compiled trie to the reference
+// evaluator over randomized rule sets and queries, including wildcard
+// segments, whole-pattern stars, literal "*" value segments, empty
+// segments, and patterns longer than the value.
+func TestCompiledMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	segs := []string{"a", "b", "config", "device", "interface", "r1", "*", ""}
+	randPath := func(sep byte, min, max int) string {
+		n := min + rng.Intn(max-min+1)
+		out := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				out += string(sep)
+			}
+			out += segs[rng.Intn(len(segs))]
+		}
+		return out
+	}
+	for trial := 0; trial < 500; trial++ {
+		spec := &Spec{Ticket: "t", Technician: "x"}
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			eff := AllowEffect
+			if rng.Intn(3) == 0 {
+				eff = DenyEffect
+			}
+			spec.Rules = append(spec.Rules, Rule{
+				Effect:   eff,
+				Action:   randPath('.', 1, 3),
+				Resource: randPath(':', 1, 3),
+			})
+		}
+		compiled := spec.Compile()
+		for q := 0; q < 40; q++ {
+			action := randPath('.', 1, 4)
+			resource := randPath(':', 1, 4)
+			want := spec.Evaluate(action, resource)
+			if got := compiled.Evaluate(action, resource); got != want {
+				t.Fatalf("trial %d: Evaluate(%q, %q) = %v, reference says %v\nrules: %v",
+					trial, action, resource, got, want, spec.Rules)
+			}
+			if compiled.Allows(action, resource) != spec.Allows(action, resource) {
+				t.Fatalf("trial %d: Allows(%q, %q) diverged", trial, action, resource)
+			}
+		}
+	}
+}
+
+// TestCompiledKnownCases spot-checks the semantics the sweep depends on.
+func TestCompiledKnownCases(t *testing.T) {
+	spec := &Spec{Rules: []Rule{
+		{Effect: AllowEffect, Action: "show.*", Resource: "device:r1"},
+		{Effect: AllowEffect, Action: "config.interface.set", Resource: "device:r2:interface:Gi0/1"},
+		{Effect: AllowEffect, Action: "*", Resource: "device:r3"},
+		{Effect: DenyEffect, Action: "config.*", Resource: "device:r3:acl:*"},
+	}}
+	compiled := spec.Compile()
+	cases := []struct {
+		action, resource string
+		want             bool
+	}{
+		{"show.version", "device:r1", true},
+		{"show.version", "device:r1:interface:Gi0/0", true}, // resource prefix containment
+		{"show.version", "device:r2", false},
+		{"config.interface.set", "device:r2:interface:Gi0/1", true},
+		{"config.interface.set", "device:r2:interface:Gi0/2", false},
+		{"config.acl.add", "device:r3:acl:MGMT", false}, // deny overrides the * allow
+		{"config.route.add", "device:r3:route:0.0.0.0/0", true},
+		{"anything.at.all", "device:r3", true},
+	}
+	for _, tc := range cases {
+		if got := compiled.Allows(tc.action, tc.resource); got != tc.want {
+			t.Errorf("Allows(%q, %q) = %v, want %v", tc.action, tc.resource, got, tc.want)
+		}
+		if ref := spec.Allows(tc.action, tc.resource); ref != tc.want {
+			t.Errorf("reference Allows(%q, %q) = %v, want %v (test expectation wrong)",
+				tc.action, tc.resource, ref, tc.want)
+		}
+	}
+}
+
+// BenchmarkCompiledAllows measures the mediation hot path against the
+// reference scan on a realistic generated spec. The compiled form must not
+// allocate.
+func BenchmarkCompiledAllows(b *testing.B) {
+	spec, err := Generate(TemplateInput{
+		Ticket: "bench", Technician: "tech", Kind: TaskInterface,
+		Scope:     []string{"r1", "r2", "r3", "sw1", "h1", "h2"},
+		Sensitive: []string{"h9"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		spec.Rules = append(spec.Rules, Rule{
+			Effect:   AllowEffect,
+			Action:   "config.interface.set",
+			Resource: fmt.Sprintf("device:r%d:interface:Gi0/%d", i%3+1, i),
+		})
+	}
+	queries := [][2]string{
+		{"show.run", "device:r2"},
+		{"config.interface.set", "device:r2:interface:Gi0/4"},
+		{"config.acl.add", "device:sw1:acl:MGMT"},
+		{"ping", "device:h1"},
+		{"config.route.add", "device:r3:route:10.0.0.0/8"},
+	}
+	b.Run("compiled", func(b *testing.B) {
+		compiled := spec.Compile()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			compiled.Allows(q[0], q[1])
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			spec.Allows(q[0], q[1])
+		}
+	})
+}

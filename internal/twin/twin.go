@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"heimdall/internal/audit"
@@ -55,12 +56,17 @@ type Twin struct {
 	ticket     string
 	technician string
 	spec       *privilege.Spec
-	baseline   *netmodel.Network // sanitized clone kept pristine for diffing
-	emul       *netmodel.Network // the mutable emulation layer
-	slice      map[string]bool   // nil means every device is visible
-	env        *console.Env
-	trail      *audit.Trail
-	meter      telemetry.Meter
+	// compiled caches the trie form of spec so the reference monitor
+	// checks mediated commands without rescanning the rule list. Callers
+	// may extend a ticket's privileges by appending rules (the core engine
+	// does), so the cache is keyed by rule count and rebuilt when it grows.
+	compiled atomic.Pointer[compiledSpec]
+	baseline *netmodel.Network // sanitized clone kept pristine for diffing
+	emul     *netmodel.Network // the mutable emulation layer
+	slice    map[string]bool   // nil means every device is visible
+	env      *console.Env
+	trail    *audit.Trail
+	meter    telemetry.Meter
 }
 
 // New builds the twin: the emulation layer is a sanitized deep copy of
@@ -209,7 +215,7 @@ func (s *Session) Exec(line string) (string, error) {
 		return "", err
 	}
 	tw.log(audit.KindCommand, fmt.Sprintf("[%s] %s", s.Device(), line), true)
-	if !tw.spec.Allows(cmd.Action, cmd.Resource) {
+	if !tw.allows(cmd.Action, cmd.Resource) {
 		tw.log(audit.KindDecision, fmt.Sprintf("deny %s on %s", cmd.Action, cmd.Resource), false)
 		tw.decision("deny", actionClass(cmd.Action))
 		tw.observeMediation(start)
@@ -228,6 +234,27 @@ func (s *Session) Exec(line string) (string, error) {
 		return "", err
 	}
 	return out, nil
+}
+
+// compiledSpec pairs a compiled rule trie with the rule count it was built
+// from, so the mediation path can detect appended rules.
+type compiledSpec struct {
+	nrules int
+	c      *privilege.CompiledSpec
+}
+
+// allows evaluates the mediation decision through the compiled spec,
+// recompiling when the rule list grew since the last command. The cache is
+// an atomic pointer, so concurrent sessions stay race-free (a concurrent
+// append at worst costs one extra compile).
+func (tw *Twin) allows(action, resource string) bool {
+	n := len(tw.spec.Rules)
+	cs := tw.compiled.Load()
+	if cs == nil || cs.nrules != n {
+		cs = &compiledSpec{nrules: n, c: tw.spec.Compile()}
+		tw.compiled.Store(cs)
+	}
+	return cs.c.Allows(action, resource)
 }
 
 func (tw *Twin) observeMediation(start time.Time) {
