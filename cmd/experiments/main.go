@@ -7,6 +7,7 @@
 //	experiments -verifycost    # §4.3 verification-cost anchor
 //	experiments -chaos N       # N seeded fault schedules vs the pipeline
 //	experiments -bench-json P  # write the performance trajectory to P
+//	experiments -service-load  # multi-tenant service load generator
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
@@ -28,6 +29,7 @@ import (
 	"heimdall/internal/experiments"
 	"heimdall/internal/latency"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/service"
 )
 
 func main() {
@@ -46,9 +48,12 @@ func main() {
 		telem      = flag.Bool("telemetry", false, "with -fig7: export pilot-study spans as JSONL")
 		spansPath  = flag.String("spans", "fig7_spans.jsonl", "span JSONL output path for -telemetry")
 		benchJSON  = flag.String("bench-json", "", "measure the performance trajectory and write it as JSON to the given path")
+		svcLoad    = flag.Bool("service-load", false, "run the multi-tenant service load generator")
+		svcTenants = flag.Int("service-tenants", 0, "tenants for -service-load (0 = the 50-tenant acceptance scale)")
+		svcPer     = flag.Int("service-sessions", 0, "concurrent sessions per tenant for -service-load (0 = 20)")
 	)
 	flag.Parse()
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "") {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "" || *svcLoad) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,6 +116,21 @@ func main() {
 			fmt.Print(experiments.FormatChaos(s))
 		})
 	}
+	if *all || *svcLoad {
+		timed("service-load", func() {
+			rep, err := service.RunLoad(service.LoadConfig{
+				ServiceConfig:     service.Config{VerifyQueue: 4096},
+				Tenants:           *svcTenants,
+				SessionsPerTenant: *svcPer,
+				Reviews:           true,
+				Commits:           true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(rep.String())
+		})
+	}
 	if *benchJSON != "" {
 		timed("bench", func() {
 			report := experiments.RunBench()
@@ -125,9 +145,10 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("wrote benchmark trajectory to %s (fig8 serial %.2fs, derive-static %.0fx, derive-l2 %.0fx, spf-memo hit rate %.0f%%)\n",
+			fmt.Printf("wrote benchmark trajectory to %s (fig8 serial %.2fs, derive-static %.0fx, derive-l2 %.0fx, spf-memo hit rate %.0f%%, service %.0f cmds/sec p99 %.1fms)\n",
 				*benchJSON, report.Figure8SerialSeconds, report.DeriveStaticSpeed,
-				report.DeriveL2Speed, 100*report.SPFMemoHitRate)
+				report.DeriveL2Speed, 100*report.SPFMemoHitRate,
+				report.ServiceCmdsPerSec, report.ServiceP99Ms)
 		})
 	}
 	if *all || *verifyCost {

@@ -52,6 +52,11 @@ func main() {
 	issueName := fs.String("issue", "", "issue to run (vlan/ospf/isp for enterprise; acl/ospf/isp for university)")
 	line := fs.String("line", "", "console command for the exec subcommand")
 	addr := fs.String("addr", "127.0.0.1:7777", "listen address for the rmm command")
+	server := fs.String("server", "", "heimdalld base URL; switches the subcommand to remote mode")
+	tenant := fs.String("tenant", "", "tenant ID for remote subcommands")
+	session := fs.String("session", "", "session ID for remote exec")
+	token := fs.String("token", "", "session attach token for remote exec")
+	technician := fs.String("technician", "operator", "technician name for the remote workflow")
 	pushRetries := fs.Int("push-retries", 0, "max attempts per production push (0 = pipeline default)")
 	pushBackoff := fs.Duration("push-backoff", 0, "base backoff between push retries (0 = pipeline default)")
 	faultSeed := fs.Int64("fault-seed", 0, "inject a seeded fault schedule into the production push (0 = off)")
@@ -60,6 +65,31 @@ func main() {
 		os.Exit(2)
 	}
 	pf := pushFlags{retries: *pushRetries, backoff: *pushBackoff, faultSeed: *faultSeed}
+
+	if *server != "" {
+		c := newRemoteClient(*server)
+		switch cmd {
+		case "tenants":
+			remoteTenants(c)
+		case "sessions":
+			remoteSessions(c, *tenant)
+		case "tickets":
+			remoteTickets(c, *tenant)
+		case "exec":
+			remoteExec(c, *tenant, *session, *token, *device, *line)
+		case "workflow":
+			remoteWorkflow(c, *tenant, *scenName, *issueName, *technician)
+		case "metrics":
+			remoteMetrics(c)
+		default:
+			log.Fatalf("subcommand %q has no remote mode (remote: tenants, sessions, tickets, exec, workflow, metrics)", cmd)
+		}
+		return
+	}
+	switch cmd {
+	case "tenants", "sessions", "tickets":
+		log.Fatalf("subcommand %q needs -server (it talks to a running heimdalld)", cmd)
+	}
 
 	scen := loadScenario(*scenName)
 	switch cmd {
@@ -86,7 +116,19 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm|metrics} [flags]")
+	fmt.Fprintln(os.Stderr, "       heimdallctl {tenants|sessions|tickets|exec|workflow|metrics} -server http://host:port [flags]")
 	os.Exit(2)
+}
+
+// findIssue resolves a named issue in a scenario or exits.
+func findIssue(scen *scenarios.Scenario, name string) *scenarios.Issue {
+	for i := range scen.Issues {
+		if scen.Issues[i].Name == name {
+			return &scen.Issues[i]
+		}
+	}
+	log.Fatalf("no issue %q in %s", name, scen.Name)
+	return nil
 }
 
 func loadScenario(name string) *scenarios.Scenario {
@@ -137,15 +179,7 @@ func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Met
 	if issueName == "" {
 		log.Fatal("workflow needs -issue")
 	}
-	var issue *scenarios.Issue
-	for i := range scen.Issues {
-		if scen.Issues[i].Name == issueName {
-			issue = &scen.Issues[i]
-		}
-	}
-	if issue == nil {
-		log.Fatalf("no issue %q in %s", issueName, scen.Name)
-	}
+	issue := findIssue(scen, issueName)
 	if err := issue.Fault.Inject(scen.Network); err != nil {
 		log.Fatal(err)
 	}

@@ -46,6 +46,7 @@ import (
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/service"
 	"heimdall/internal/spec"
 	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
@@ -441,4 +442,43 @@ var (
 	// ProviderScenario builds the multi-site eBGP scenario (beyond the
 	// paper's Table 1 pair).
 	ProviderScenario = scenarios.Provider
+)
+
+// Multi-tenant service (cmd/heimdalld): one long-running process hosting
+// many customer networks, each behind its own twin/enforcer/audit-trail
+// deployment, with session lifecycle, bounded verify capacity and an HTTP
+// JSON API. See docs/SERVICE.md.
+type (
+	// Service hosts many tenant deployments concurrently.
+	Service = service.Service
+	// ServiceConfig tunes a Service (shards, verify pool, idle timeout,
+	// clock, catalog).
+	ServiceConfig = service.Config
+	// ServiceTenant is one hosted customer network.
+	ServiceTenant = service.Tenant
+	// SessionInfo is the API-facing view of a technician session.
+	SessionInfo = service.Info
+	// ServiceLoadConfig sizes the scripted-technician load generator.
+	ServiceLoadConfig = service.LoadConfig
+	// ServiceLoadReport is the load generator's result.
+	ServiceLoadReport = service.LoadReport
+)
+
+var (
+	// NewService assembles a multi-tenant service.
+	NewService = service.New
+	// RunServiceLoad replays concurrent scripted technician sessions
+	// against a service and reports mediated throughput and latency.
+	RunServiceLoad = service.RunLoad
+	// BuiltinScenarioCatalog maps the built-in scenario names to their
+	// constructors for ServiceConfig.Catalog.
+	BuiltinScenarioCatalog = service.BuiltinCatalog
+)
+
+// Service errors (HTTP-mapped by the API layer).
+var (
+	ErrServiceQueueFull      = service.ErrQueueFull
+	ErrServiceSessionExpired = service.ErrSessionExpired
+	ErrServiceSessionClosed  = service.ErrSessionClosed
+	ErrServiceBadToken       = service.ErrBadToken
 )

@@ -282,6 +282,21 @@ func (e *Engagement) Drifted() bool {
 	return false
 }
 
+// Review runs the enforcer's verification of the twin's current changes
+// against live production — privilege check plus shadow-snapshot policy
+// verification — without applying anything. The service layer calls this
+// from its bounded verify pool; technicians use it as a pre-flight before
+// Commit.
+func (e *Engagement) Review() (*enforcer.Decision, error) {
+	changes := e.Twin.Changes()
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("core: nothing to review for %s", e.Ticket.ID)
+	}
+	e.sys.prodMu.RLock()
+	defer e.sys.prodMu.RUnlock()
+	return e.sys.Enforcer.Review(e.sys.production, changes, e.Spec), nil
+}
+
 // Commit extracts the twin's changes, has the enforcer verify and schedule
 // them, applies them to production, and moves the ticket to Resolved (or
 // Rejected when the enforcer refuses).

@@ -10,6 +10,7 @@ import (
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/service"
 	"heimdall/internal/verify"
 )
 
@@ -52,6 +53,18 @@ type BenchReport struct {
 	// the bounded Figure 9 sweep: the fraction of link-state passes whose
 	// canonical LSDB had already been solved by an earlier trial.
 	SPFMemoHitRate float64 `json:"spf_memo_hit_rate"`
+
+	// Service-layer headline: the multi-tenant load generator at the
+	// acceptance scale (50 tenants x 20 concurrent scripted technician
+	// sessions on university+enterprise), mediated commands per second and
+	// mediation latency percentiles through the full twin/enforcer path,
+	// plus the peak verify-queue depth behind the bounded pool.
+	ServiceTenants        int     `json:"service_tenants"`
+	ServiceSessions       int     `json:"service_sessions"`
+	ServiceCmdsPerSec     float64 `json:"service_cmds_per_sec"`
+	ServiceP50Ms          float64 `json:"service_p50_ms"`
+	ServiceP99Ms          float64 `json:"service_p99_ms"`
+	ServicePeakQueueDepth int     `json:"service_peak_queue_depth"`
 }
 
 // timeIt runs fn count times and returns mean ns/op.
@@ -159,6 +172,20 @@ func RunBench() BenchReport {
 	hits, misses := warm.FlowCacheStats()
 	if hits+misses > 0 {
 		r.FlowCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+
+	// Multi-tenant service throughput at the acceptance scale.
+	if rep, err := service.RunLoad(service.LoadConfig{
+		ServiceConfig: service.Config{VerifyQueue: 4096},
+		Reviews:       true,
+		Commits:       true,
+	}); err == nil {
+		r.ServiceTenants = rep.Tenants
+		r.ServiceSessions = rep.Sessions
+		r.ServiceCmdsPerSec = rep.CmdsPerSec
+		r.ServiceP50Ms = rep.P50Ms
+		r.ServiceP99Ms = rep.P99Ms
+		r.ServicePeakQueueDepth = rep.PeakQueueDepth
 	}
 	return r
 }

@@ -1,0 +1,78 @@
+package scenarios
+
+import (
+	"testing"
+
+	"heimdall/internal/netmodel"
+)
+
+// TestScenarioCloneNoAliasing follows the CloneCOW aliasing-test pattern:
+// two "tenants" cloned from the same scenario mutate their own copy and
+// must never observe each other's changes — no shared *Device, no shared
+// interface/ACL/route structures, independent Configs/Sensitive maps.
+func TestScenarioCloneNoAliasing(t *testing.T) {
+	for _, build := range []func() *Scenario{Enterprise, University, Provider} {
+		base := build()
+		a, b := base.Clone(), base.Clone()
+		if a.Network == b.Network || a.Network == base.Network {
+			t.Fatalf("%s: cloned networks alias", base.Name)
+		}
+		for _, name := range base.Network.DeviceNames() {
+			if a.Network.Devices[name] == b.Network.Devices[name] {
+				t.Fatalf("%s: device %s shared between clones", base.Name, name)
+			}
+			if a.Network.Devices[name] == base.Network.Devices[name] {
+				t.Fatalf("%s: device %s shared with the base scenario", base.Name, name)
+			}
+		}
+
+		// Tenant A injects its first issue's fault; tenant B and the base
+		// must stay byte-identical to each other.
+		if len(base.Issues) == 0 {
+			t.Fatalf("%s: no issues to inject", base.Name)
+		}
+		if err := base.Issues[0].Fault.Inject(a.Network); err != nil {
+			t.Fatal(err)
+		}
+		root := base.Issues[0].Fault.RootCause
+		if devicesEqual(a.Network.Devices[root], b.Network.Devices[root]) {
+			t.Fatalf("%s: fault on tenant A's %s not visible in its own network", base.Name, root)
+		}
+		if !devicesEqual(b.Network.Devices[root], base.Network.Devices[root]) {
+			t.Fatalf("%s: tenant A's fault leaked into tenant B", base.Name)
+		}
+
+		// Map-level independence for the non-network fixtures.
+		a.Configs[root] = "tampered"
+		if b.Configs[root] == "tampered" || base.Configs[root] == "tampered" {
+			t.Fatalf("%s: Configs map shared", base.Name)
+		}
+		a.Sensitive["ghost-host"] = true
+		if b.Sensitive["ghost-host"] || base.Sensitive["ghost-host"] {
+			t.Fatalf("%s: Sensitive map shared", base.Name)
+		}
+		if len(a.Issues) > 0 {
+			a.Issues[0].Script[0].Line = "tampered"
+			if b.Issues[0].Script[0].Line == "tampered" || base.Issues[0].Script[0].Line == "tampered" {
+				t.Fatalf("%s: issue scripts shared", base.Name)
+			}
+		}
+	}
+}
+
+// devicesEqual compares two devices through the config printer (the same
+// lens DiffDevice uses).
+func devicesEqual(a, b *netmodel.Device) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return renderDevice(a) == renderDevice(b)
+}
+
+func renderDevice(d *netmodel.Device) string {
+	m := render(&netmodel.Network{Devices: map[string]*netmodel.Device{d.Name: d}})
+	return m[d.Name]
+}

@@ -75,6 +75,37 @@ func (s *Scenario) Row() Table1Row {
 // Snapshot computes the baseline dataplane of the scenario.
 func (s *Scenario) Snapshot() *dataplane.Snapshot { return dataplane.Compute(s.Network) }
 
+// Clone returns an independent deep copy of the scenario, so several
+// deployments (the multi-tenant service hands one scenario per tenant)
+// can mutate their networks without aliasing any state. The network is
+// deep-cloned; configs, policies, sensitive sets and issue scripts are
+// copied. Issue Fault closures are shared — they are pure functions of
+// the network they are handed and hold no network state.
+func (s *Scenario) Clone() *Scenario {
+	c := &Scenario{
+		Name:    s.Name,
+		Network: s.Network.Clone(),
+		Configs: make(map[string]string, len(s.Configs)),
+	}
+	for k, v := range s.Configs {
+		c.Configs[k] = v
+	}
+	c.Policies = append([]verify.Policy(nil), s.Policies...)
+	if s.Sensitive != nil {
+		c.Sensitive = make(map[string]bool, len(s.Sensitive))
+		for k, v := range s.Sensitive {
+			c.Sensitive[k] = v
+		}
+	}
+	c.Issues = make([]Issue, len(s.Issues))
+	for i, is := range s.Issues {
+		is.Script = append([]ticket.FixCommand(nil), is.Script...)
+		is.Fault.Fix = append([]ticket.FixCommand(nil), is.Fault.Fix...)
+		c.Issues[i] = is
+	}
+	return c
+}
+
 func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
 func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
 

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/telemetry"
+)
+
+// newTestService builds a service on a VirtualClock with a registry
+// meter, one university tenant, one injected issue and one session;
+// returns everything a lifecycle test needs.
+func newTestService(t *testing.T) (*Service, *telemetry.VirtualClock, *telemetry.Registry, Info) {
+	t.Helper()
+	vc := telemetry.NewVirtualClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	reg := telemetry.NewRegistry()
+	svc := New(Config{
+		Clock:        vc.Now,
+		IdleTimeout:  10 * time.Minute,
+		Meter:        reg,
+		PlatformSeed: "lifecycle",
+	})
+	t.Cleanup(svc.Close)
+	if _, err := svc.CreateTenant("acme", "university"); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.InjectIssue("acme", "acl", "admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.CreateSession("acme", "alice", tk.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Token == "" || info.Session == "" {
+		t.Fatalf("session info missing token or id: %+v", info)
+	}
+	return svc, vc, reg, info
+}
+
+func TestSessionIdleExpiry(t *testing.T) {
+	svc, vc, reg, info := newTestService(t)
+
+	// Alive and mediated before the timeout.
+	if len(info.Slice) == 0 {
+		t.Fatal("session has an empty presentation slice")
+	}
+	if _, err := svc.Exec("acme", info.Session, info.Token, info.Slice[0], "show ip route"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.GaugeValue("heimdall_service_sessions_active", telemetry.L("tenant", "acme")); got != 1 {
+		t.Fatalf("sessions_active = %v, want 1", got)
+	}
+
+	// Idle past the timeout: the sweeper reclaims it.
+	vc.Advance(11 * time.Minute)
+	if n := svc.SweepIdle(); n != 1 {
+		t.Fatalf("SweepIdle = %d, want 1", n)
+	}
+	if got := reg.GaugeValue("heimdall_service_sessions_active", telemetry.L("tenant", "acme")); got != 0 {
+		t.Fatalf("sessions_active after expiry = %v, want 0", got)
+	}
+
+	// Further Exec is denied with ErrSessionExpired and audited.
+	_, err := svc.Exec("acme", info.Session, info.Token, info.Slice[0], "show ip route")
+	if !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("Exec after expiry = %v, want ErrSessionExpired", err)
+	}
+	tenant, _ := svc.Tenant("acme")
+	trail := tenant.System().Enforcer.Trail()
+	var expired, denied bool
+	for _, e := range trail.Entries() {
+		if e.Kind == audit.KindSession && strings.Contains(e.Detail, "expired") && !e.Allowed {
+			expired = true
+		}
+		if e.Kind == audit.KindSession && strings.Contains(e.Detail, "deny exec") && !e.Allowed {
+			denied = true
+		}
+	}
+	if !expired {
+		t.Fatal("no KindSession expiry record in the audit trail")
+	}
+	if !denied {
+		t.Fatal("no KindSession deny record for the post-expiry exec")
+	}
+	if err := trail.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLazyExpiryWithoutSweep(t *testing.T) {
+	svc, vc, _, info := newTestService(t)
+	vc.Advance(11 * time.Minute)
+	// No sweep ran; the Exec path itself must expire the session.
+	_, err := svc.Exec("acme", info.Session, info.Token, info.Slice[0], "show ip route")
+	if !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("lazy expiry: got %v, want ErrSessionExpired", err)
+	}
+	// Attach on an expired session reports the state without error.
+	got, err := svc.Attach("acme", info.Session, info.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "expired" {
+		t.Fatalf("attach state = %s, want expired", got.State)
+	}
+}
+
+func TestAttachTokenMismatch(t *testing.T) {
+	svc, _, reg, info := newTestService(t)
+	if _, err := svc.Attach("acme", info.Session, "deadbeef"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("bad token attach = %v, want ErrBadToken", err)
+	}
+	if _, err := svc.Exec("acme", info.Session, "", info.Slice[0], "show ip route"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("empty token exec = %v, want ErrBadToken", err)
+	}
+	if got := reg.CounterValue("heimdall_service_auth_failures_total", telemetry.L("tenant", "acme")); got != 2 {
+		t.Fatalf("auth_failures_total = %v, want 2", got)
+	}
+	// The real token still works.
+	if _, err := svc.Attach("acme", info.Session, info.Token); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionDoubleClose(t *testing.T) {
+	svc, _, reg, info := newTestService(t)
+	if err := svc.CloseSession("acme", info.Session, info.Token); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CloseSession("acme", info.Session, info.Token); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("double close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := svc.Exec("acme", info.Session, info.Token, info.Slice[0], "show ip route"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("exec after close = %v, want ErrSessionClosed", err)
+	}
+	if got := reg.GaugeValue("heimdall_service_sessions_active", telemetry.L("tenant", "acme")); got != 0 {
+		t.Fatalf("sessions_active after close = %v, want 0", got)
+	}
+}
+
+func TestExpiredSessionSkippedBySweep(t *testing.T) {
+	svc, vc, _, _ := newTestService(t)
+	vc.Advance(11 * time.Minute)
+	if n := svc.SweepIdle(); n != 1 {
+		t.Fatalf("first sweep = %d, want 1", n)
+	}
+	if n := svc.SweepIdle(); n != 0 {
+		t.Fatalf("second sweep = %d, want 0 (already expired)", n)
+	}
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"heimdall/internal/core"
+	"heimdall/internal/scenarios"
+	"heimdall/internal/telemetry"
+	"heimdall/internal/ticket"
+)
+
+// loadScale returns the acceptance scale — 50 tenants × 20 sessions =
+// 1,000 concurrent technicians — shrunk under -race (5-10x slowdown) and
+// -short so those runs stay fast while the plain run keeps the
+// acceptance numbers.
+func loadScale(t *testing.T) (tenants, perTenant int) {
+	t.Helper()
+	if RaceEnabled || testing.Short() {
+		return 8, 5
+	}
+	return 50, 20
+}
+
+// TestLoadGeneratorAcceptance is the PR's acceptance test: the service
+// sustains >= 1,000 concurrent scripted technician sessions across
+// >= 50 tenants on the university+enterprise scenarios with zero
+// mediation denials and zero cross-tenant audit/state leakage.
+func TestLoadGeneratorAcceptance(t *testing.T) {
+	tenants, per := loadScale(t)
+	reg := telemetry.NewRegistry()
+	svc := New(Config{Meter: reg, VerifyQueue: 4096, PlatformSeed: "loadgen"})
+	defer svc.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		Service:           svc,
+		Tenants:           tenants,
+		SessionsPerTenant: per,
+		Reviews:           true,
+		Commits:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+
+	if rep.Sessions != tenants*per {
+		t.Fatalf("sessions = %d, want %d", rep.Sessions, tenants*per)
+	}
+	if rep.Commands == 0 || rep.CmdsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", rep)
+	}
+	// Every technician replays the issue's prepared script inside their
+	// ticket's privilege slice: the reference monitor must deny nothing.
+	if rep.Denied != 0 {
+		t.Fatalf("denied = %d, want 0", rep.Denied)
+	}
+	if rep.Commits != int64(tenants) {
+		t.Fatalf("commits = %d, want one per tenant (%d)", rep.Commits, tenants)
+	}
+	if rep.P99Ms < rep.P50Ms {
+		t.Fatalf("p99 %.3fms < p50 %.3fms", rep.P99Ms, rep.P50Ms)
+	}
+
+	// --- Zero cross-tenant leakage ---
+
+	// 1. No device pointer is reachable from two tenants.
+	owner := make(map[any]string)
+	for _, ti := range svc.Tenants() {
+		tn, err := svc.Tenant(ti.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, d := range tn.System().Production().Devices {
+			if prev, ok := owner[d]; ok && prev != ti.ID {
+				t.Fatalf("device %s aliased between tenants %s and %s", name, prev, ti.ID)
+			}
+			owner[d] = ti.ID
+		}
+	}
+
+	// 2. Every audit record in tenant i's trail names a technician of
+	// tenant i (technicians are globally unique: tech-<tenant>-<session>),
+	// and every trail verifies end-to-end.
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t-%03d", i)
+		tn, err := svc.Tenant(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trail := tn.System().Enforcer.Trail()
+		if err := trail.Verify(); err != nil {
+			t.Fatalf("tenant %s: audit trail broken: %v", id, err)
+		}
+		prefix := fmt.Sprintf("tech-%03d-", i)
+		entries := trail.Entries()
+		if len(entries) == 0 {
+			t.Fatalf("tenant %s: empty audit trail", id)
+		}
+		for _, e := range entries {
+			if e.Technician != "" && !strings.HasPrefix(e.Technician, prefix) {
+				t.Fatalf("tenant %s: audit entry names foreign technician %q", id, e.Technician)
+			}
+		}
+	}
+
+	// 3. Per-tenant metric series stayed separate and account for every
+	// mediated command.
+	var metered float64
+	for i := 0; i < tenants; i++ {
+		metered += reg.CounterValue("heimdall_service_commands_total",
+			telemetry.L("tenant", fmt.Sprintf("t-%03d", i)))
+	}
+	if int64(metered) != rep.Commands {
+		t.Fatalf("per-tenant command counters sum to %v, want %d", metered, rep.Commands)
+	}
+	if got := reg.GaugeValue("heimdall_service_tenants"); int(got) != tenants {
+		t.Fatalf("tenants gauge = %v, want %d", got, tenants)
+	}
+}
+
+// TestMediationByteIdentical asserts the acceptance criterion that the
+// service's mediated Exec path is byte-identical to driving
+// twin.Session.Exec directly on an equivalently-seeded single-tenant
+// deployment: the service adds lifecycle and metering around mediation
+// without altering a single output byte.
+func TestMediationByteIdentical(t *testing.T) {
+	const seed = "byte-ident"
+
+	// Service-side transcript.
+	svc := New(Config{PlatformSeed: seed})
+	defer svc.Close()
+	if _, err := svc.CreateTenant("solo", "university"); err != nil {
+		t.Fatal(err)
+	}
+	tn, err := svc.Tenant("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issue *scenarios.Issue
+	for i := range tn.ScenarioData().Issues {
+		if tn.ScenarioData().Issues[i].Name == "acl" {
+			issue = &tn.ScenarioData().Issues[i]
+		}
+	}
+	if issue == nil {
+		t.Fatal("university scenario lost its acl issue")
+	}
+	tk, err := svc.InjectIssue("solo", "acl", "reporter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.CreateSession("solo", "alice", tk.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaService []string
+	for _, cmd := range issue.Script {
+		out, err := svc.Exec("solo", info.Session, info.Token, cmd.Device, cmd.Line)
+		if err != nil {
+			t.Fatalf("service exec %q on %s: %v", cmd.Line, cmd.Device, err)
+		}
+		viaService = append(viaService, out)
+	}
+
+	// Direct-twin transcript: same scenario constructor, same platform
+	// seed derivation, same ticket fields, same technician.
+	scen := scenarios.University().Clone()
+	sys, err := core.NewSystem(core.Options{
+		Network:      scen.Network,
+		Policies:     scen.Policies,
+		Sensitive:    scen.Sensitive,
+		PlatformSeed: seed + "/solo",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *scenarios.Issue
+	for i := range scen.Issues {
+		if scen.Issues[i].Name == "acl" {
+			ref = &scen.Issues[i]
+		}
+	}
+	if err := ref.Fault.Inject(sys.Production()); err != nil {
+		t.Fatal(err)
+	}
+	dtk := sys.Tickets.Create(ticket.Ticket{
+		Summary: ref.Fault.Description, Kind: ref.Fault.Kind,
+		SrcHost: ref.SrcHost, DstHost: ref.DstHost,
+		Proto: ref.Proto, DstPort: ref.DstPort,
+		Suspects:  []string{ref.Fault.RootCause},
+		CreatedBy: "reporter",
+	})
+	eng, err := sys.StartWork(dtk.ID, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaTwin []string
+	for _, cmd := range ref.Script {
+		sess, err := eng.Console(cmd.Device)
+		if err != nil {
+			t.Fatalf("direct console %s: %v", cmd.Device, err)
+		}
+		out, err := sess.Exec(cmd.Line)
+		if err != nil {
+			t.Fatalf("direct exec %q on %s: %v", cmd.Line, cmd.Device, err)
+		}
+		viaTwin = append(viaTwin, out)
+	}
+
+	if len(viaService) != len(viaTwin) {
+		t.Fatalf("transcript lengths differ: service %d, twin %d", len(viaService), len(viaTwin))
+	}
+	for i := range viaService {
+		if viaService[i] != viaTwin[i] {
+			t.Fatalf("output %d differs for %q on %s:\nservice: %q\ntwin:    %q",
+				i, issue.Script[i].Line, issue.Script[i].Device, viaService[i], viaTwin[i])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"heimdall/internal/telemetry"
+)
+
+// Pool is a bounded worker pool with backpressure for the expensive
+// verify/commit path (enforcer review + shadow-snapshot derivation). All
+// tenants share one pool, so a fixed number of verifications run at any
+// moment and a bounded number wait; when the queue is full Submit fails
+// fast with ErrQueueFull (surfaced as HTTP 429) instead of growing an
+// unbounded goroutine backlog behind an overloaded enforcer.
+type Pool struct {
+	tasks chan poolTask
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	peak  int
+	depth int
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	meter      telemetry.Meter
+	depthGauge telemetry.Gauge
+}
+
+type poolTask struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines consuming from a queue of the given
+// capacity. workers and queue are clamped to at least 1.
+func NewPool(workers, queue int, meter telemetry.Meter) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	if meter == nil {
+		meter = telemetry.Nop()
+	}
+	p := &Pool{
+		tasks:      make(chan poolTask, queue),
+		closed:     make(chan struct{}),
+		meter:      meter,
+		depthGauge: meter.Gauge("heimdall_service_queue_depth"),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.addDepth(-1)
+			start := time.Now()
+			t.fn()
+			p.meter.Histogram("heimdall_service_verify_seconds", telemetry.LatencyBuckets).
+				ObserveDuration(time.Since(start))
+			close(t.done)
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+func (p *Pool) addDepth(d int) {
+	p.mu.Lock()
+	p.depth += d
+	if p.depth > p.peak {
+		p.peak = p.depth
+	}
+	depth := p.depth
+	p.mu.Unlock()
+	p.depthGauge.Set(float64(depth))
+}
+
+// Do submits fn and waits for a worker to finish it. It returns
+// ErrQueueFull immediately when the queue has no room, and ErrPoolClosed
+// after Close.
+func (p *Pool) Do(fn func()) error {
+	t := poolTask{fn: fn, done: make(chan struct{})}
+	select {
+	case <-p.closed:
+		return ErrPoolClosed
+	default:
+	}
+	select {
+	case p.tasks <- t:
+		p.addDepth(1)
+	default:
+		p.meter.Counter("heimdall_service_backpressure_total").Inc()
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-p.closed:
+		// Workers drain in-flight tasks before exiting, but a task still
+		// queued when Close lands is dropped.
+		select {
+		case <-t.done:
+			return nil
+		default:
+			return ErrPoolClosed
+		}
+	}
+}
+
+// PeakDepth reports the highest queue depth observed (the load
+// generator's "enforcer queue depth" headline).
+func (p *Pool) PeakDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// Depth reports the current queue depth.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.depth
+}
+
+// Close stops the workers. In-flight tasks finish; queued-but-unstarted
+// tasks are dropped and their Do calls return ErrPoolClosed.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.wg.Wait()
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"heimdall/internal/telemetry"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4, telemetry.Nop())
+	defer p.Close()
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(func() {
+				mu.Lock()
+				n++
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	// With queue 4 and 2 workers some of the 20 may be rejected, but every
+	// accepted task must have run.
+	if n == 0 {
+		t.Fatal("no tasks ran")
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewPool(1, 2, reg)
+	defer p.Close()
+
+	// Block the single worker so further submissions pile into the queue.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(func() {
+			close(started)
+			<-release
+		})
+	}()
+	<-started
+
+	// Fill the queue (capacity 2) with tasks that will wait.
+	fill := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fill <- p.Do(func() {})
+		}()
+	}
+	// Wait until both queued tasks are actually enqueued.
+	waitDepth(t, p, 2)
+
+	// The next submission must fail fast with ErrQueueFull.
+	if err := p.Do(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overloaded Do = %v, want ErrQueueFull", err)
+	}
+	if got := reg.CounterValue("heimdall_service_backpressure_total"); got != 1 {
+		t.Fatalf("backpressure counter = %v, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-fill; err != nil {
+			t.Fatalf("queued task failed: %v", err)
+		}
+	}
+	if p.PeakDepth() < 2 {
+		t.Fatalf("PeakDepth = %d, want >= 2", p.PeakDepth())
+	}
+	if p.Depth() != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", p.Depth())
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(1, 1, telemetry.Nop())
+	p.Close()
+	if err := p.Do(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// waitDepth waits until the pool's queue depth reaches want.
+func waitDepth(t *testing.T, p *Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Depth() >= want {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("queue depth never reached %d (at %d)", want, p.Depth())
+}

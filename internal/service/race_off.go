@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// RaceEnabled reports whether the race detector is compiled in; the
+// full-scale load tests shrink under -race (5-10x slowdown) while the
+// plain test run keeps the acceptance-scale numbers.
+const RaceEnabled = false

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,14 @@ type Twin struct {
 	env      *console.Env
 	trail    *audit.Trail
 	meter    telemetry.Meter
+
+	// mu serializes everything that touches the emulation layer or the
+	// console environment's snapshot cache: command execution, diffing,
+	// and snapshot reads. A twin is shared by every session opened on it
+	// (one technician may hold consoles on several devices, and the
+	// service layer multiplexes API calls onto the same twin), so the
+	// emulation layer itself must be safe for concurrent use.
+	mu sync.Mutex
 }
 
 // New builds the twin: the emulation layer is a sanitized deep copy of
@@ -145,11 +154,17 @@ func (tw *Twin) Network() *netmodel.Network { return tw.emul }
 func (tw *Twin) Baseline() *netmodel.Network { return tw.baseline }
 
 // Snapshot returns the twin's current dataplane snapshot.
-func (tw *Twin) Snapshot() *dataplane.Snapshot { return tw.env.Snapshot() }
+func (tw *Twin) Snapshot() *dataplane.Snapshot {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.env.Snapshot()
+}
 
 // Changes computes the semantic configuration diff between the twin's
 // baseline and its current state: exactly what the technician changed.
 func (tw *Twin) Changes() []config.Change {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
 	return config.DiffNetwork(tw.baseline, tw.emul)
 }
 
@@ -206,6 +221,13 @@ func (e *ErrDenied) Error() string {
 // privilege check, audit, then execute in the emulation layer.
 func (s *Session) Exec(line string) (string, error) {
 	tw := s.twin
+	// One command at a time per twin: parse, decision, audit and execution
+	// form one serialized critical section, so concurrent sessions can
+	// never interleave half-applied configuration mutations or observe a
+	// snapshot mid-invalidation, and the audit trail's command/decision
+	// ordering matches the execution order.
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
 	start := time.Now()
 	tw.meter.Counter("heimdall_monitor_commands_total").Inc()
 	cmd, err := s.con.Parse(line)
