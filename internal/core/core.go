@@ -128,6 +128,15 @@ func (s *System) Production() *netmodel.Network { return s.production }
 // Policies returns the guarded policy set.
 func (s *System) Policies() []verify.Policy { return s.policies }
 
+// MutateProduction applies fn to the production network under the write
+// lock, serializing out-of-band mutations (fault injection, admin edits)
+// against concurrent twin construction, reviews and commits.
+func (s *System) MutateProduction(fn func(*netmodel.Network) error) error {
+	s.prodMu.Lock()
+	defer s.prodMu.Unlock()
+	return fn(s.production)
+}
+
 // Attest returns an attestation report for the enforcer, verifiable
 // against the deployment's platform.
 func (s *System) Attest(nonce []byte) (enclave.Report, error) {

@@ -2,12 +2,15 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"heimdall/internal/audit"
+	"heimdall/internal/scenarios"
 	"heimdall/internal/telemetry"
+	"heimdall/internal/ticket"
 )
 
 // newTestService builds a service on a VirtualClock with a registry
@@ -140,6 +143,91 @@ func TestSessionDoubleClose(t *testing.T) {
 	if got := reg.GaugeValue("heimdall_service_sessions_active", telemetry.L("tenant", "acme")); got != 0 {
 		t.Fatalf("sessions_active after close = %v, want 0", got)
 	}
+}
+
+// TestEndedSessionReleasedAndReaped pins the memory lifecycle: ending a
+// session drops its engagement (a full twin copy of the tenant network)
+// immediately, the session stays addressable for one idle period so
+// clients can observe the terminal state, and the next sweep after that
+// grace window forgets it entirely.
+func TestEndedSessionReleasedAndReaped(t *testing.T) {
+	svc, vc, _, info := newTestService(t)
+	if err := svc.CloseSession("acme", info.Session, info.Token); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.lookup("acme", info.Session, info.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Engagement() != nil {
+		t.Fatal("closed session still holds its engagement (twin network copy)")
+	}
+	// Within the grace window the session stays addressable.
+	if n := svc.SweepIdle(); n != 0 {
+		t.Fatalf("sweep right after close = %d expiries, want 0", n)
+	}
+	got, err := svc.Attach("acme", info.Session, info.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "closed" {
+		t.Fatalf("attach state = %s, want closed", got.State)
+	}
+	// One idle period later the sweeper drops the registry entry.
+	vc.Advance(11 * time.Minute)
+	svc.SweepIdle()
+	if _, err := svc.Attach("acme", info.Session, info.Token); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("reaped session attach = %v, want ErrNoSession", err)
+	}
+}
+
+// TestInjectIssueConcurrentWithSessions hammers issue injection (a
+// production-network write) against session creation (a production read:
+// twin construction snapshots production) on one tenant. Run under
+// -race, it pins InjectIssue to the prodMu write path.
+func TestInjectIssueConcurrentWithSessions(t *testing.T) {
+	svc, _, _, _ := newTestService(t)
+	tn, err := svc.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var is *scenarios.Issue
+	for i := range tn.ScenarioData().Issues {
+		if tn.ScenarioData().Issues[i].Name == "acl" {
+			is = &tn.ScenarioData().Issues[i]
+		}
+	}
+	if is == nil {
+		t.Fatal("university scenario lost its acl issue")
+	}
+
+	const iters = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < iters; i++ {
+			if _, err := svc.InjectIssue("acme", "acl", "admin"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		tk, err := svc.CreateTicket("acme", ticket.Ticket{
+			Summary: is.Fault.Description, Kind: is.Fault.Kind,
+			SrcHost: is.SrcHost, DstHost: is.DstHost,
+			Proto: is.Proto, DstPort: is.DstPort,
+			Suspects:  []string{is.Fault.RootCause},
+			CreatedBy: "admin",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.CreateSession("acme", fmt.Sprintf("bob-%02d", i), tk.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
 }
 
 func TestExpiredSessionSkippedBySweep(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"heimdall/internal/ticket"
+	"heimdall/internal/twin"
 )
 
 // LoadConfig sizes a scripted-technician load run. The generator builds
@@ -32,8 +33,8 @@ type LoadConfig struct {
 	// university+enterprise).
 	Scenarios []string
 	// Reviews pushes every session's change set through the bounded
-	// verify pool after its script (default via DefaultReviews=true in
-	// RunLoad; backpressure is counted, not fatal).
+	// verify pool after its script (off unless explicitly enabled;
+	// backpressure is counted, not fatal).
 	Reviews bool
 	// Commits lands one fix per tenant into tenant production.
 	Commits bool
@@ -45,10 +46,15 @@ type LoadConfig struct {
 
 // LoadReport is the run's result.
 type LoadReport struct {
-	Tenants        int     `json:"tenants"`
-	Sessions       int     `json:"sessions"`
-	Commands       int64   `json:"commands"`
+	Tenants  int   `json:"tenants"`
+	Sessions int   `json:"sessions"`
+	Commands int64 `json:"commands"`
+	// Denied counts reference-monitor denials (twin.ErrDenied) only;
+	// infrastructure failures (expired sessions, unknown devices, auth)
+	// land in Errors so a clean run's "zero denials" headline means what
+	// it says.
 	Denied         int64   `json:"denied"`
+	Errors         int64   `json:"errors"`
 	Reviews        int64   `json:"reviews"`
 	Backpressure   int64   `json:"backpressure"`
 	Commits        int64   `json:"commits"`
@@ -63,9 +69,9 @@ type LoadReport struct {
 // String renders the report's headline.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, p50 %.3fms, p99 %.3fms), %d reviews (%d backpressured), %d commits, peak queue depth %d",
+		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, p50 %.3fms, p99 %.3fms), %d denied, %d errors, %d reviews (%d backpressured), %d commits, peak queue depth %d",
 		r.Tenants, r.Sessions, r.Commands, r.RunSeconds, r.CmdsPerSec,
-		r.P50Ms, r.P99Ms, r.Reviews, r.Backpressure, r.Commits, r.PeakQueueDepth)
+		r.P50Ms, r.P99Ms, r.Denied, r.Errors, r.Reviews, r.Backpressure, r.Commits, r.PeakQueueDepth)
 }
 
 // loadSession is one scripted technician session prepared for the run.
@@ -109,9 +115,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// measures pure mediated-command throughput with Tenants×Sessions
 	// concurrent technicians.
 	var (
-		commands, denied, reviews, backpressure, commits atomic.Int64
-		latMu                                            sync.Mutex
-		latencies                                        []time.Duration
+		commands, denied, execErrs, reviews, backpressure, commits atomic.Int64
+
+		latMu     sync.Mutex
+		latencies []time.Duration
 	)
 	runStart := time.Now()
 	var wg sync.WaitGroup
@@ -127,7 +134,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				local = append(local, time.Since(t0))
 				commands.Add(1)
 				if err != nil {
-					denied.Add(1)
+					var d *twin.ErrDenied
+					if errors.As(err, &d) {
+						denied.Add(1)
+					} else {
+						execErrs.Add(1)
+					}
 				}
 			}
 			latMu.Lock()
@@ -167,6 +179,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		Sessions:       len(sessions),
 		Commands:       commands.Load(),
 		Denied:         denied.Load(),
+		Errors:         execErrs.Load(),
 		Reviews:        reviews.Load(),
 		Backpressure:   backpressure.Load(),
 		Commits:        commits.Load(),
@@ -199,11 +212,19 @@ func setupLoad(svc *Service, cfg LoadConfig) ([]loadSession, error) {
 	sessions := make([]loadSession, cfg.Tenants*cfg.SessionsPerTenant)
 	sem := make(chan struct{}, cfg.SetupWorkers)
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
 	fail := func(err error) {
-		if err != nil {
-			firstErr.CompareAndSwap(nil, err)
+		if err == nil {
+			return
 		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
 	}
 	for ti, plan := range plans {
 		ti, plan := ti, plan
@@ -266,8 +287,8 @@ func setupLoad(svc *Service, cfg LoadConfig) ([]loadSession, error) {
 		}()
 	}
 	wg.Wait()
-	if v := firstErr.Load(); v != nil {
-		return nil, v.(error)
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return sessions, nil
 }

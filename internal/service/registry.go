@@ -69,21 +69,31 @@ type Session struct {
 	token      string
 
 	tenant *Tenant
-	eng    *core.Engagement
 
 	// mu serializes API-level access to the session (console cache,
 	// lifecycle state, idle stamp). The twin below has its own lock.
 	mu         sync.Mutex
+	eng        *core.Engagement
 	consoles   map[string]*twin.Session
 	state      SessionState
 	createdAt  time.Time
 	lastActive time.Time
-	commands   int
+	// endedAt is when the session left the active state; the sweeper
+	// reaps ended sessions after a grace period.
+	endedAt  time.Time
+	commands int
 }
 
 // Engagement exposes the underlying core engagement (the load generator
-// and tests reach through it for the twin and privilege spec).
-func (s *Session) Engagement() *core.Engagement { return s.eng }
+// and tests reach through it for the twin and privilege spec). It is nil
+// once the session has expired or closed: the engagement — a full twin
+// copy of the tenant network — is released at end-of-life so a
+// long-running daemon's memory tracks live sessions, not historic ones.
+func (s *Session) Engagement() *core.Engagement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
 
 // Info is the API-facing view of a session.
 type Info struct {

@@ -275,7 +275,7 @@ func (s *Service) InjectIssue(tenant, issue, reporter string) (*ticket.Ticket, e
 	if is == nil {
 		return nil, fmt.Errorf("service: no issue %q in scenario %s", issue, t.Scenario)
 	}
-	if err := is.Fault.Inject(t.sys.Production()); err != nil {
+	if err := t.sys.MutateProduction(is.Fault.Inject); err != nil {
 		return nil, err
 	}
 	return s.CreateTicket(tenant, ticket.Ticket{
@@ -374,8 +374,14 @@ func (s *Service) Attach(tenant, session, token string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	info := sess.snapshotInfo()
-	info.Slice = sess.eng.Twin.VisibleDevices()
+	sess.mu.Lock()
+	info := sess.infoLocked()
+	// Ended sessions have released their twin; attach still reports the
+	// state, just without a presentation slice.
+	if sess.eng != nil {
+		info.Slice = sess.eng.Twin.VisibleDevices()
+	}
+	sess.mu.Unlock()
 	return info, nil
 }
 
@@ -420,11 +426,21 @@ func (s *Service) checkLive(sess *Session, now time.Time) error {
 // sess.mu) and lands the KindSession audit record.
 func (s *Service) expireLocked(sess *Session, now time.Time) {
 	sess.state = SessionExpired
+	sess.endedAt = now
 	t := sess.tenant
 	t.sys.Enforcer.Trail().Append(sess.TicketID, sess.Technician, audit.KindSession,
 		fmt.Sprintf("session %s expired (idle %s)", sess.ID, now.Sub(sess.lastActive).Round(time.Second)), false)
 	s.meter.Counter("heimdall_service_sessions_expired_total", telemetry.L("tenant", t.ID)).Inc()
 	s.sessionsActive(t).Add(-1)
+	releaseLocked(sess)
+}
+
+// releaseLocked drops the session's engagement (a full twin copy of the
+// tenant network) and console cache once the session can no longer run
+// commands, so ended sessions cost a map entry, not a network copy.
+func releaseLocked(sess *Session) {
+	sess.eng = nil
+	sess.consoles = nil
 }
 
 // Exec runs one mediated command in the session's twin. Denied commands
@@ -487,11 +503,15 @@ func (s *Service) Privileges(tenant, session, token string) (PrivilegeInfo, erro
 	if err != nil {
 		return PrivilegeInfo{}, err
 	}
-	spec := sess.eng.Spec
+	eng, err := s.touch(sess)
+	if err != nil {
+		return PrivilegeInfo{}, err
+	}
+	spec := eng.Spec
 	info := PrivilegeInfo{
 		Ticket:     spec.Ticket,
 		Technician: spec.Technician,
-		Slice:      sess.eng.Twin.VisibleDevices(),
+		Slice:      eng.Twin.VisibleDevices(),
 	}
 	for _, r := range spec.Rules {
 		info.Rules = append(info.Rules, r.String())
@@ -519,14 +539,15 @@ func (s *Service) Review(tenant, session, token string) (ReviewResult, error) {
 	if err != nil {
 		return ReviewResult{}, err
 	}
-	if err := s.touch(sess); err != nil {
+	eng, err := s.touch(sess)
+	if err != nil {
 		return ReviewResult{}, err
 	}
 	var res ReviewResult
 	var inner error
 	err = s.pool.Do(func() {
 		var d *enforcer.Decision
-		d, inner = sess.eng.Review()
+		d, inner = eng.Review()
 		if inner != nil {
 			return
 		}
@@ -545,13 +566,14 @@ func (s *Service) Commit(tenant, session, token string) (ReviewResult, error) {
 	if err != nil {
 		return ReviewResult{}, err
 	}
-	if err := s.touch(sess); err != nil {
+	eng, err := s.touch(sess)
+	if err != nil {
 		return ReviewResult{}, err
 	}
 	var res ReviewResult
 	var inner error
 	err = s.pool.Do(func() {
-		d, cerr := sess.eng.Commit()
+		d, cerr := eng.Commit()
 		if d != nil {
 			res = decisionResult(d)
 		}
@@ -580,16 +602,18 @@ func decisionResult(d *enforcer.Decision) ReviewResult {
 }
 
 // touch stamps activity on the session (non-Exec API calls keep a
-// session alive too).
-func (s *Service) touch(sess *Session) error {
+// session alive too) and hands back its engagement. The returned pointer
+// stays valid even if the session expires while the caller still holds
+// it — expiry only drops the session's own reference.
+func (s *Service) touch(sess *Session) (*core.Engagement, error) {
 	now := s.clock()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if err := s.checkLive(sess, now); err != nil {
-		return err
+		return nil, err
 	}
 	sess.lastActive = now
-	return nil
+	return sess.eng, nil
 }
 
 // CloseSession ends a session explicitly. Closing twice fails with
@@ -606,21 +630,28 @@ func (s *Service) CloseSession(tenant, session, token string) error {
 		return fmt.Errorf("%w: %s/%s", ErrSessionClosed, tenant, session)
 	case SessionExpired:
 		// Closing an expired session is a no-op state-wise but allowed:
-		// the gauge was already decremented at expiry.
+		// the gauge was already decremented (and the twin released) at
+		// expiry.
 		sess.state = SessionClosed
 		return nil
 	}
 	sess.state = SessionClosed
+	sess.endedAt = s.clock()
 	t := sess.tenant
 	t.sys.Enforcer.Trail().Append(sess.TicketID, sess.Technician, audit.KindSession,
 		fmt.Sprintf("session %s closed (%d commands)", sess.ID, sess.commands), true)
 	s.sessionsActive(t).Add(-1)
+	releaseLocked(sess)
 	return nil
 }
 
 // SweepIdle expires every active session idle past the timeout and
-// returns how many it reclaimed. heimdalld runs this on a timer; tests
-// drive it with a VirtualClock.
+// returns how many it reclaimed. Sessions that ended (closed or expired)
+// more than one idle period ago are dropped from the tenant's session
+// map entirely: their state stays queryable for that grace window, then
+// the registry forgets them so a long-running daemon's session maps
+// don't grow without bound as sessions churn. heimdalld runs this on a
+// timer; tests drive it with a VirtualClock.
 func (s *Service) SweepIdle() int {
 	now := s.clock()
 	n := 0
@@ -631,13 +662,23 @@ func (s *Service) SweepIdle() int {
 			sessions = append(sessions, sess)
 		}
 		t.mu.Unlock()
+		var reap []string
 		for _, sess := range sessions {
 			sess.mu.Lock()
 			if sess.state == SessionActive && now.Sub(sess.lastActive) > s.idle {
 				s.expireLocked(sess, now)
 				n++
+			} else if sess.state != SessionActive && now.Sub(sess.endedAt) > s.idle {
+				reap = append(reap, sess.ID)
 			}
 			sess.mu.Unlock()
+		}
+		if len(reap) > 0 {
+			t.mu.Lock()
+			for _, id := range reap {
+				delete(t.sessions, id)
+			}
+			t.mu.Unlock()
 		}
 	}
 	return n
