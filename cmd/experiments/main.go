@@ -8,6 +8,7 @@
 //	experiments -chaos N       # N seeded fault schedules vs the pipeline
 //	experiments -bench-json P  # write the performance trajectory to P
 //	experiments -service-load  # multi-tenant service load generator
+//	experiments -scale-tiers   # generated-topology scale tiers only
 //	experiments -all           # everything
 //
 // Use -budget to bound the Figure 8/9 mutation search per sample (0 = the
@@ -51,9 +52,10 @@ func main() {
 		svcLoad    = flag.Bool("service-load", false, "run the multi-tenant service load generator")
 		svcTenants = flag.Int("service-tenants", 0, "tenants for -service-load (0 = the 50-tenant acceptance scale)")
 		svcPer     = flag.Int("service-sessions", 0, "concurrent sessions per tenant for -service-load (0 = 20)")
+		scaleTiers = flag.Bool("scale-tiers", false, "measure the generated-topology scale tiers (also part of -bench-json)")
 	)
 	flag.Parse()
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "" || *svcLoad) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "" || *svcLoad || *scaleTiers) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -131,6 +133,11 @@ func main() {
 			fmt.Println(rep.String())
 		})
 	}
+	if *scaleTiers {
+		timed("scale-tiers", func() {
+			fmt.Print(experiments.FormatScaleTiers(experiments.RunScaleTiers()))
+		})
+	}
 	if *benchJSON != "" {
 		timed("bench", func() {
 			report := experiments.RunBench()
@@ -149,6 +156,10 @@ func main() {
 				*benchJSON, report.Figure8SerialSeconds, report.DeriveStaticSpeed,
 				report.DeriveL2Speed, 100*report.SPFMemoHitRate,
 				report.ServiceCmdsPerSec, report.ServiceP99Ms)
+			if k8, ok := report.ScaleTiers["fattree-k8"]; ok {
+				fmt.Printf("fattree-k8: %d devices, compute %.0fms, derive-l3topo %.0fx, bounded sweep %.1fs\n",
+					k8.Devices, k8.SnapshotComputeMs, k8.DeriveL3TopoSpeed, k8.SweepBoundedSeconds)
+			}
 		})
 	}
 	if *all || *verifyCost {

@@ -414,6 +414,24 @@ func (p *parser) ospfLine(line string) error {
 			return p.errf("bad area")
 		}
 		p.osp.Networks = append(p.osp.Networks, netmodel.OSPFNetwork{Prefix: pfx, Area: area})
+	case f[0] == "area" && len(f) == 5 && f[2] == "range":
+		area, err := strconv.Atoi(f[1])
+		if err != nil || area < 0 {
+			return p.errf("bad area")
+		}
+		addr, err := netip.ParseAddr(f[3])
+		if err != nil {
+			return p.errf("bad range address")
+		}
+		ones, err := maskToBits(f[4])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		pfx, err := addr.Prefix(ones)
+		if err != nil {
+			return p.errf("bad range prefix")
+		}
+		p.osp.Ranges = append(p.osp.Ranges, netmodel.OSPFNetwork{Prefix: pfx, Area: area})
 	case f[0] == "passive-interface" && len(f) == 2:
 		p.osp.Passive[f[1]] = true
 	case f[0] == "no" && len(f) == 3 && f[1] == "passive-interface":

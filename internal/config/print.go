@@ -84,6 +84,9 @@ func Print(d *netmodel.Device) string {
 		for _, n := range o.Networks {
 			fmt.Fprintf(&b, " network %s %s area %d\n", n.Prefix.Addr(), bitsToWildcard(n.Prefix.Bits()), n.Area)
 		}
+		for _, r := range o.Ranges {
+			fmt.Fprintf(&b, " area %d range %s %s\n", r.Area, r.Prefix.Masked().Addr(), bitsToMask(r.Prefix.Bits()))
+		}
 		var passive []string
 		for name, on := range o.Passive {
 			if on {

@@ -181,7 +181,11 @@ func (s *Snapshot) DeriveWithMemo(n *netmodel.Network, changes ChangeSet, memo *
 	}
 
 	if topo || kinds[ChangeOSPF] {
-		d.lsdb = buildLSDB(n, d.adj)
+		changedDevs := make(map[string]bool, len(changes))
+		for _, c := range changes {
+			changedDevs[c.Device] = true
+		}
+		d.lsdb = deriveLSDB(s.lsdb, s.net, n, s.adj, d.adj, topo, changedDevs)
 		d.ospfRoutes = s.incrementalOSPF(d.lsdb, memo, ribDirty)
 	}
 

@@ -13,41 +13,99 @@ import (
 
 // The OSPF link-state pass is built around an explicit, canonical LSDB.
 // buildLSDB distills a network's OSPF configuration plus the L2 adjacency
-// into an index-addressed router graph; the SPF pass, the per-source
-// component fingerprints that let Derive reuse unchanged shortest-path
-// results, and the whole-LSDB memo key all read from this one structure.
+// into an area-partitioned, index-addressed router graph; the SPF pass runs
+// hierarchically (per-area Dijkstra plus ABR summaries, the standard
+// two-level OSPF model), and the per-source fingerprints that let Derive
+// reuse unchanged shortest-path results localize to the (area, component)
+// scopes a source's routes actually depend on.
 
-// lsdbEdge is one adjacency edge of the OSPF router graph.
+// lsdbEdge is one adjacency edge of an OSPF area's router graph. peer is a
+// position within that area's member list, not a global source index.
 type lsdbEdge struct {
-	peer     int // index into sources
+	peer     int
 	localIf  string
 	peerAddr netip.Addr
 	cost     int
 }
 
-// ospfLSDB is the link-state database: every OSPF router, its graph edges,
-// and its advertised prefixes, all index-addressed and deterministically
-// ordered. Two LSDBs with equal canonical serializations produce identical
-// SPF results; two sources with equal component fingerprints produce
-// identical per-source routes even across different LSDBs.
+// ospfLSDB is the link-state database: every OSPF router, its per-area
+// graph edges, and its advertised prefixes, all index-addressed and
+// deterministically ordered. Two LSDBs with equal canonical serializations
+// produce identical SPF results; two sources with equal fingerprints
+// produce identical per-source routes even across different LSDBs.
+//
+// The graph is partitioned by OSPF area. Area 0 (when present) is the
+// backbone: routers with interfaces in area 0 and at least one other area
+// are ABRs. An ABR advertises each attached nonzero area's prefixes into
+// the backbone at its intra-area cost (a type-3 summary), and re-advertises
+// its backbone view — intra routes plus backbone-learned summaries — into
+// its nonzero areas. Sources prefer intra-area routes over inter-area ones
+// regardless of cost, per OSPF route preference. A single-area network
+// degenerates to one flat SPF, byte-identical to the pre-partitioned pass.
 type ospfLSDB struct {
 	sources []string       // router names, sorted
 	index   map[string]int // name -> index into sources
-	graph   [][]lsdbEdge   // per source, sorted by (peer, localIf, peerAddr, cost)
-	adv     [][]netip.Prefix
-	advSet  []map[netip.Prefix]bool
+
+	// Area partition. areas lists distinct area ids ascending; areasOf[i]
+	// holds the positions (into areas) source i participates in, ascending.
+	// Per area: members (source indices, ascending), localAt (source index
+	// -> member position), per-member edge lists sorted by (peer, localIf,
+	// peerAddr, cost), and per-member advertised prefixes in rank order.
+	areas   []int
+	areasOf [][]int
+	members [][]int
+	localAt []map[int]int
+	aGraph  [][][]lsdbEdge
+	aAdv    [][][]netip.Prefix
+
+	adv    [][]netip.Prefix // per source, all areas, rank order
+	advSet []map[netip.Prefix]bool
+	// ranges holds each source's configured `area range` aggregation
+	// statements in canonical (area, prefix-string) order. An ABR folds an
+	// area's covered prefixes into the range prefix when summarizing them
+	// into other areas; the summary cost is the minimum component cost
+	// (RFC 1583 compatibility), so losing one covered prefix leaves the
+	// aggregate — and every remote area's view — untouched as long as an
+	// equal-cost component survives.
+	ranges [][]netmodel.OSPFNetwork
 	// rank maps every advertised prefix to its position in the global
 	// lexical prefix-string order — per-source emission walks ranks in
 	// order, which reproduces the String() order the route slices have
 	// always used. ranked is the inverse (rank -> prefix).
 	rank   map[netip.Prefix]int
 	ranked []netip.Prefix
+	// rankStr caches prefixString(ranked[i]) — the strings already exist
+	// for the rank sort, and the fingerprint pass would otherwise
+	// re-allocate each one per serialized advertisement.
+	rankStr []string
+
+	// Hierarchical state is lazy: single-area LSDBs (the common case) never
+	// need it beyond the trivial backbone lookup.
+	hierOnce sync.Once
+	backbone int                    // position of area 0 in areas, or -1
+	abrs     []int                  // ABR source indices, ascending
+	sumInto0 []map[netip.Prefix]int // per ABR: nonzero-area prefix -> intra cost
+	backView []map[netip.Prefix]int // per ABR: backbone-view prefix -> cost
+	// hdists retains each ABR's per-area distance vectors (area position ->
+	// per-member distances) so derived LSDBs can reuse them for areas whose
+	// graph rows they still share with their parent.
+	hdists []map[int][]int
 
 	// Fingerprints are lazy: most LSDBs are built, SPF'd, and discarded
 	// without ever being diffed against another.
 	fpOnce sync.Once
-	fps    []string // per-source canonical serialization of its component
-	key    string   // canonical serialization of the whole LSDB
+	fps    []string // per-source canonical serialization of its route scope
+	// The whole-LSDB serialization (the SPF memo key) is built separately
+	// on demand: derivations without a memo never pay for it.
+	keyOnce sync.Once
+	key     string
+
+	// parent is the LSDB this one was patched from (deriveLSDB). The
+	// fingerprint pass reuses the parent's per-(area, member) node
+	// serializations for every row still shared by identity, then drops
+	// the reference so chains of derivations don't pin their ancestors.
+	parent   *ospfLSDB
+	nodeStrs [][]string // per-(area, member) serialization, kept for children
 }
 
 // ospfInterface describes one OSPF-participating interface.
@@ -63,11 +121,11 @@ type ospfInterface struct {
 //
 // Adjacency forms between two interfaces when they are L2-adjacent, share a
 // subnet and an area, and neither is passive. Every enabled interface's
-// subnet (including passive ones) is advertised. Costs are hop counts
-// unless an explicit OSPFCost is set. Inter-area routing follows the
-// standard area-0 backbone rule implicitly: the router graph spans all
-// areas, but edges only exist inside one area, so traffic crosses areas
-// only through routers with interfaces in both.
+// subnet (including passive ones) is advertised into its interface's area.
+// Costs are hop counts unless an explicit OSPFCost is set. Inter-area
+// routing follows the standard area-0 backbone rule explicitly: the SPF
+// pass is per-area, and prefixes cross areas only as ABR summaries through
+// the backbone (see ospfLSDB).
 func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 	participants := make(map[netmodel.Endpoint]ospfInterface)
 	routers := make(map[string]bool)
@@ -106,8 +164,59 @@ func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 		l.index[src] = i
 	}
 
-	// Router graph: edge source->peer via (localIf, peerAddr).
-	l.graph = make([][]lsdbEdge, len(l.sources))
+	// Area ids, membership, and per-(area, source) advertisements.
+	areaSet := make(map[int]bool)
+	for _, oi := range participants {
+		areaSet[oi.area] = true
+	}
+	l.areas = make([]int, 0, len(areaSet))
+	for a := range areaSet {
+		l.areas = append(l.areas, a)
+	}
+	sort.Ints(l.areas)
+	areaPos := make(map[int]int, len(l.areas))
+	for i, a := range l.areas {
+		areaPos[a] = i
+	}
+	na := len(l.areas)
+	memberSet := make([]map[int]bool, na)
+	advBy := make([]map[int]map[netip.Prefix]bool, na)
+	for ai := range l.areas {
+		memberSet[ai] = make(map[int]bool)
+		advBy[ai] = make(map[int]map[netip.Prefix]bool)
+	}
+	for _, oi := range participants {
+		ai, si := areaPos[oi.area], l.index[oi.dev]
+		memberSet[ai][si] = true
+		if advBy[ai][si] == nil {
+			advBy[ai][si] = make(map[netip.Prefix]bool)
+		}
+		advBy[ai][si][oi.addr.Masked()] = true
+	}
+	l.members = make([][]int, na)
+	l.localAt = make([]map[int]int, na)
+	l.aGraph = make([][][]lsdbEdge, na)
+	for ai := range l.areas {
+		ms := make([]int, 0, len(memberSet[ai]))
+		for si := range memberSet[ai] {
+			ms = append(ms, si)
+		}
+		sort.Ints(ms)
+		l.members[ai] = ms
+		l.localAt[ai] = make(map[int]int, len(ms))
+		for li, si := range ms {
+			l.localAt[ai][si] = li
+		}
+		l.aGraph[ai] = make([][]lsdbEdge, len(ms))
+	}
+	l.areasOf = make([][]int, len(l.sources))
+	for ai := range l.areas {
+		for _, si := range l.members[ai] {
+			l.areasOf[si] = append(l.areasOf[si], ai)
+		}
+	}
+
+	// Per-area router graph: edge source->peer via (localIf, peerAddr).
 	for ep, oi := range participants {
 		if oi.passive {
 			continue
@@ -116,7 +225,8 @@ func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 		if itf := n.Devices[oi.dev].Interface(oi.name); itf != nil && itf.OSPFCost > 0 {
 			cost = itf.OSPFCost
 		}
-		si := l.index[oi.dev]
+		ai := areaPos[oi.area]
+		li := l.localAt[ai][l.index[oi.dev]]
 		for _, other := range adj[ep] {
 			po, ok := participants[other]
 			if !ok || po.passive || po.dev == oi.dev {
@@ -128,28 +238,19 @@ func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 			if !oi.addr.Masked().Contains(po.addr.Addr()) {
 				continue // different subnets cannot peer
 			}
-			l.graph[si] = append(l.graph[si], lsdbEdge{
-				peer: l.index[po.dev], localIf: oi.name, peerAddr: po.addr.Addr(), cost: cost,
+			l.aGraph[ai][li] = append(l.aGraph[ai][li], lsdbEdge{
+				peer: l.localAt[ai][l.index[po.dev]], localIf: oi.name,
+				peerAddr: po.addr.Addr(), cost: cost,
 			})
 		}
 	}
 	// Participants iterate in map order; sort each edge list into the
-	// canonical order (peer index order == peer name order, since sources
-	// are sorted).
-	for si := range l.graph {
-		edges := l.graph[si]
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].peer != edges[j].peer {
-				return edges[i].peer < edges[j].peer
-			}
-			if edges[i].localIf != edges[j].localIf {
-				return edges[i].localIf < edges[j].localIf
-			}
-			if edges[i].peerAddr != edges[j].peerAddr {
-				return edges[i].peerAddr.Less(edges[j].peerAddr)
-			}
-			return edges[i].cost < edges[j].cost
-		})
+	// canonical order (peer position order == peer name order, since
+	// members are sorted by source index).
+	for ai := range l.aGraph {
+		for li := range l.aGraph[ai] {
+			sortEdges(l.aGraph[ai][li])
+		}
 	}
 
 	// Advertised prefixes per router (all enabled interfaces, passive too),
@@ -162,12 +263,89 @@ func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 		}
 		l.advSet[si][oi.addr.Masked()] = true
 	}
+	// Configured aggregation ranges, canonically ordered per source. Their
+	// prefixes join the global rank table: an aggregate can be emitted even
+	// though no interface advertises it directly.
+	l.ranges = make([][]netmodel.OSPFNetwork, len(l.sources))
+	for si, src := range l.sources {
+		l.ranges[si] = canonicalRanges(n.Devices[src].OSPF)
+	}
 	all := make(map[netip.Prefix]bool)
 	for _, set := range l.advSet {
 		for p := range set {
 			all[p] = true
 		}
 	}
+	for _, rs := range l.ranges {
+		for _, r := range rs {
+			all[r.Prefix] = true
+		}
+	}
+	l.setRank(all)
+	l.adv = make([][]netip.Prefix, len(l.sources))
+	for si, set := range l.advSet {
+		ps := make([]netip.Prefix, 0, len(set))
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
+		l.adv[si] = ps
+	}
+	l.aAdv = make([][][]netip.Prefix, na)
+	for ai := range l.areas {
+		l.aAdv[ai] = make([][]netip.Prefix, len(l.members[ai]))
+		for li, si := range l.members[ai] {
+			ps := make([]netip.Prefix, 0, len(advBy[ai][si]))
+			for p := range advBy[ai][si] {
+				ps = append(ps, p)
+			}
+			sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
+			l.aAdv[ai][li] = ps
+		}
+	}
+	return l
+}
+
+// sortEdges orders one member's edge list canonically: peer position (which
+// is peer name order, since members are sorted by source index), then local
+// interface, peer address, cost.
+func sortEdges(edges []lsdbEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].peer != edges[j].peer {
+			return edges[i].peer < edges[j].peer
+		}
+		if edges[i].localIf != edges[j].localIf {
+			return edges[i].localIf < edges[j].localIf
+		}
+		if edges[i].peerAddr != edges[j].peerAddr {
+			return edges[i].peerAddr.Less(edges[j].peerAddr)
+		}
+		return edges[i].cost < edges[j].cost
+	})
+}
+
+// canonicalRanges returns o's `area range` statements masked and in the
+// canonical (area, prefix-string) order, or nil when none are configured.
+func canonicalRanges(o *netmodel.OSPFProcess) []netmodel.OSPFNetwork {
+	if o == nil || len(o.Ranges) == 0 {
+		return nil
+	}
+	cp := make([]netmodel.OSPFNetwork, len(o.Ranges))
+	for i, r := range o.Ranges {
+		cp[i] = netmodel.OSPFNetwork{Prefix: r.Prefix.Masked(), Area: r.Area}
+	}
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Area != cp[j].Area {
+			return cp[i].Area < cp[j].Area
+		}
+		return prefixString(cp[i].Prefix) < prefixString(cp[j].Prefix)
+	})
+	return cp
+}
+
+// setRank installs the global lexical prefix rank over the given prefix
+// union (every advertised prefix plus every configured range prefix).
+func (l *ospfLSDB) setRank(all map[netip.Prefix]bool) {
 	type ranked struct {
 		p netip.Prefix
 		s string
@@ -179,18 +357,305 @@ func buildLSDB(n *netmodel.Network, adj adjacency) *ospfLSDB {
 	sort.Slice(order, func(i, j int) bool { return order[i].s < order[j].s })
 	l.rank = make(map[netip.Prefix]int, len(order))
 	l.ranked = make([]netip.Prefix, len(order))
+	l.rankStr = make([]string, len(order))
 	for i, r := range order {
 		l.rank[r.p] = i
 		l.ranked[i] = r.p
+		l.rankStr[i] = r.s
 	}
-	l.adv = make([][]netip.Prefix, len(l.sources))
-	for si, set := range l.advSet {
-		ps := make([]netip.Prefix, 0, len(set))
-		for p := range set {
-			ps = append(ps, p)
+}
+
+// sharedRow reports whether two slices are the same backing array. Derived
+// LSDBs share unchanged rows by reference, so row identity proves content
+// equality without comparing elements; rows rebuilt to identical content
+// merely miss the shortcut.
+func sharedRow[T any](a, b []T) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// sameEndpoints compares two canonical adjacency rows element-wise.
+// adjacencyFromGroups emits peers in sorted group order, so equal content
+// always means equal slices.
+func sameEndpoints(a, b []netmodel.Endpoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
-		sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
-		l.adv[si] = ps
+	}
+	return true
+}
+
+// ospfIf resolves one endpoint's OSPF participation in n, mirroring the
+// participant scan in buildLSDB.
+func ospfIf(n *netmodel.Network, ep netmodel.Endpoint) (ospfInterface, bool) {
+	d := n.Devices[ep.Device]
+	if d == nil || d.OSPF == nil {
+		return ospfInterface{}, false
+	}
+	itf := d.Interfaces[ep.Interface]
+	if itf == nil || !l3Endpoint(itf) {
+		return ospfInterface{}, false
+	}
+	area, ok := d.OSPF.EnabledArea(itf.Addr.Addr())
+	if !ok {
+		return ospfInterface{}, false
+	}
+	return ospfInterface{
+		dev: ep.Device, name: ep.Interface, addr: itf.Addr,
+		area: area, passive: d.OSPF.Passive[ep.Interface],
+	}, true
+}
+
+// rebuildEdges recomputes source si's edge list in area position ai against
+// network n and adjacency adj. It reads exactly what buildLSDB reads for
+// that row: si's own interfaces and adjacency rows plus its peers'
+// configurations — the inputs deriveLSDB's affected set is closed over.
+func (l *ospfLSDB) rebuildEdges(n *netmodel.Network, adj adjacency, ai, si int) []lsdbEdge {
+	src := l.sources[si]
+	area := l.areas[ai]
+	var edges []lsdbEdge
+	for ifName, itf := range n.Devices[src].Interfaces {
+		oi, ok := ospfIf(n, netmodel.Endpoint{Device: src, Interface: ifName})
+		if !ok || oi.passive || oi.area != area {
+			continue
+		}
+		cost := 1
+		if itf.OSPFCost > 0 {
+			cost = itf.OSPFCost
+		}
+		for _, other := range adj[netmodel.Endpoint{Device: src, Interface: ifName}] {
+			po, ok := ospfIf(n, other)
+			if !ok || po.passive || po.dev == src || po.area != area {
+				continue
+			}
+			if !oi.addr.Masked().Contains(po.addr.Addr()) {
+				continue
+			}
+			pi, ok := l.index[po.dev]
+			if !ok {
+				continue
+			}
+			lp, ok := l.localAt[ai][pi]
+			if !ok {
+				continue
+			}
+			edges = append(edges, lsdbEdge{
+				peer: lp, localIf: ifName, peerAddr: po.addr.Addr(), cost: cost,
+			})
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// deriveLSDB patches old into the LSDB of n, rebuilding only the rows the
+// change set can have touched and sharing everything else by reference —
+// the structure-sharing dual of the fingerprint pass: shared rows later
+// prove themselves unchanged by identity, so their serializations, SPF
+// distance vectors, and ABR summaries are reused instead of recomputed.
+//
+// The patch keeps old's index-addressed layout, so any structural drift
+// falls back to a full buildLSDB: a device entering or leaving the router
+// set, a router's per-area membership changing, or a change introducing an
+// area id the old LSDB never saw. Within a stable layout the rebuilt rows
+// are: the changed routers' advertisements, ranges, and edge lists, plus
+// the edge lists of every router whose inputs a change can reach — routers
+// adjacent to a changed device under the old or new adjacency (peer
+// attributes feed their edges), and, when the L2 adjacency was rebuilt,
+// routers whose own adjacency rows differ (an L2-only change on a transit
+// switch rewires routers that are not adjacent to the changed device;
+// adjacency rows are canonical, so element-wise comparison is exact).
+func deriveLSDB(old *ospfLSDB, oldNet, n *netmodel.Network, oldAdj, adj adjacency,
+	adjRebuilt bool, changed map[string]bool) *ospfLSDB {
+	if old == nil || oldNet == nil || len(old.sources) == 0 {
+		return buildLSDB(n, adj)
+	}
+	areaPos := make(map[int]int, len(old.areas))
+	for i, a := range old.areas {
+		areaPos[a] = i
+	}
+
+	// Re-scan the changed devices' OSPF participation, verifying the layout
+	// is intact and collecting their per-area advertisement sets.
+	touched := make(map[int]map[int]map[netip.Prefix]bool)
+	for dev := range changed {
+		d := n.Devices[dev]
+		si, wasRouter := old.index[dev]
+		var byArea map[int]map[netip.Prefix]bool
+		if d != nil && d.OSPF != nil {
+			for _, itf := range d.Interfaces {
+				if !l3Endpoint(itf) {
+					continue
+				}
+				area, ok := d.OSPF.EnabledArea(itf.Addr.Addr())
+				if !ok {
+					continue
+				}
+				ai, ok := areaPos[area]
+				if !ok {
+					return buildLSDB(n, adj) // new area id
+				}
+				if byArea == nil {
+					byArea = make(map[int]map[netip.Prefix]bool)
+				}
+				if byArea[ai] == nil {
+					byArea[ai] = make(map[netip.Prefix]bool)
+				}
+				byArea[ai][itf.Addr.Masked()] = true
+			}
+		}
+		if (byArea != nil) != wasRouter {
+			return buildLSDB(n, adj) // router set changed
+		}
+		if byArea == nil {
+			continue
+		}
+		if len(byArea) != len(old.areasOf[si]) {
+			return buildLSDB(n, adj) // area membership changed
+		}
+		for _, ai := range old.areasOf[si] {
+			if byArea[ai] == nil {
+				return buildLSDB(n, adj)
+			}
+		}
+		touched[si] = byArea
+	}
+
+	l := &ospfLSDB{
+		sources: old.sources, index: old.index,
+		areas: old.areas, areasOf: old.areasOf,
+		members: old.members, localAt: old.localAt,
+		aGraph: append([][][]lsdbEdge(nil), old.aGraph...),
+		aAdv:   append([][][]netip.Prefix(nil), old.aAdv...),
+		adv:    old.adv, advSet: old.advSet, ranges: old.ranges,
+		rank: old.rank, ranked: old.ranked, rankStr: old.rankStr,
+		parent: old,
+	}
+	ownG := make([]bool, len(l.areas))
+	graphRow := func(ai int) [][]lsdbEdge {
+		if !ownG[ai] {
+			l.aGraph[ai] = append([][]lsdbEdge(nil), l.aGraph[ai]...)
+			ownG[ai] = true
+		}
+		return l.aGraph[ai]
+	}
+	ownA := make([]bool, len(l.areas))
+	advRow := func(ai int) [][]netip.Prefix {
+		if !ownA[ai] {
+			l.aAdv[ai] = append([][]netip.Prefix(nil), l.aAdv[ai]...)
+			ownA[ai] = true
+		}
+		return l.aAdv[ai]
+	}
+
+	if len(touched) > 0 {
+		l.adv = append([][]netip.Prefix(nil), old.adv...)
+		l.advSet = append([]map[netip.Prefix]bool(nil), old.advSet...)
+		l.ranges = append([][]netmodel.OSPFNetwork(nil), old.ranges...)
+		for si, byArea := range touched {
+			set := make(map[netip.Prefix]bool)
+			for _, ps := range byArea {
+				for p := range ps {
+					set[p] = true
+				}
+			}
+			l.advSet[si] = set
+			l.ranges[si] = canonicalRanges(n.Devices[l.sources[si]].OSPF)
+		}
+
+		// The rank table is shared whenever the global prefix union is
+		// unchanged. When it is rebuilt, unshared rows stay correctly
+		// ordered anyway: rank order is lexical prefix-string order, which
+		// is stable under insertions and deletions.
+		all := make(map[netip.Prefix]bool, len(old.rank))
+		for _, set := range l.advSet {
+			for p := range set {
+				all[p] = true
+			}
+		}
+		for _, rs := range l.ranges {
+			for _, r := range rs {
+				all[r.Prefix] = true
+			}
+		}
+		same := len(all) == len(old.rank)
+		if same {
+			for p := range all {
+				if _, ok := old.rank[p]; !ok {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			l.setRank(all)
+		}
+
+		for si, byArea := range touched {
+			ps := make([]netip.Prefix, 0, len(l.advSet[si]))
+			for p := range l.advSet[si] {
+				ps = append(ps, p)
+			}
+			sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
+			l.adv[si] = ps
+			for ai, set := range byArea {
+				aps := make([]netip.Prefix, 0, len(set))
+				for p := range set {
+					aps = append(aps, p)
+				}
+				sort.Slice(aps, func(i, j int) bool { return l.rank[aps[i]] < l.rank[aps[j]] })
+				advRow(ai)[l.localAt[ai][si]] = aps
+			}
+		}
+	}
+
+	// Affected edge lists: changed routers, their adjacency peers under
+	// either adjacency, and (after an adjacency rebuild) routers whose own
+	// rows differ.
+	affected := make(map[int]bool, len(changed))
+	for dev := range changed {
+		if si, ok := old.index[dev]; ok {
+			affected[si] = true
+		}
+	}
+	markPeers := func(net2 *netmodel.Network, a adjacency) {
+		for dev := range changed {
+			d := net2.Devices[dev]
+			if d == nil {
+				continue
+			}
+			for ifName := range d.Interfaces {
+				for _, other := range a[netmodel.Endpoint{Device: dev, Interface: ifName}] {
+					if pi, ok := old.index[other.Device]; ok {
+						affected[pi] = true
+					}
+				}
+			}
+		}
+	}
+	markPeers(oldNet, oldAdj)
+	markPeers(n, adj)
+	if adjRebuilt {
+		for si, src := range old.sources {
+			if affected[si] {
+				continue
+			}
+			for ifName := range n.Devices[src].Interfaces {
+				ep := netmodel.Endpoint{Device: src, Interface: ifName}
+				if !sameEndpoints(oldAdj[ep], adj[ep]) {
+					affected[si] = true
+					break
+				}
+			}
+		}
+	}
+	for si := range affected {
+		for _, ai := range old.areasOf[si] {
+			graphRow(ai)[old.localAt[ai][si]] = l.rebuildEdges(n, adj, ai, si)
+		}
 	}
 	return l
 }
@@ -206,6 +671,7 @@ func (l *ospfLSDB) routes() map[string][]FIBEntry {
 	if len(l.sources) == 0 {
 		return nil
 	}
+	l.hier()
 	slots := make([][]FIBEntry, len(l.sources))
 	fanOut(len(l.sources), func(i int) {
 		slots[i] = l.routesFrom(i)
@@ -236,22 +702,23 @@ func addHop(hops []ospfHop, h ospfHop) []ospfHop {
 	return append(hops, h)
 }
 
-// routesFrom runs the single-source Dijkstra over the indexed graph and
-// returns the source router's OSPF routes in deterministic (prefix string,
-// hop) order, or nil when it has none.
-func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
-	nv := len(l.sources)
+// areaSPF runs the single-source Dijkstra over one area's member graph.
+// It returns per-member distances (-1 = unreached) and first-hop sets from
+// the local source position ls.
+func (l *ospfLSDB) areaSPF(ai, ls int) ([]int, [][]ospfHop) {
+	nv := len(l.members[ai])
 	const unreached = -1
 	dist := make([]int, nv)
 	for i := range dist {
 		dist[i] = unreached
 	}
-	dist[si] = 0
+	dist[ls] = 0
 	settled := make([]bool, nv)
 	hops := make([][]ospfHop, nv)
+	graph := l.aGraph[ai]
 	for {
 		// Select the unsettled node with the smallest distance. The lowest
-		// index wins ties, which is exactly the name order the map-based
+		// position wins ties, which is exactly the name order the map-based
 		// implementation tie-broke by; since every edge cost is >= 1,
 		// equal-distance nodes never relax each other, so the tie order
 		// cannot change any first-hop set anyway.
@@ -268,7 +735,7 @@ func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
 			break
 		}
 		settled[cur] = true
-		for _, e := range l.graph[cur] {
+		for _, e := range graph[cur] {
 			nd := dist[cur] + e.cost
 			switch old := dist[e.peer]; {
 			case old == unreached || nd < old:
@@ -278,7 +745,7 @@ func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
 				continue
 			}
 			// Propagate first hops for equal-or-new best paths.
-			if cur == si {
+			if cur == ls {
 				hops[e.peer] = addHop(hops[e.peer], ospfHop{outIf: e.localIf, via: e.peerAddr})
 			} else {
 				for _, h := range hops[cur] {
@@ -287,21 +754,255 @@ func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
 			}
 		}
 	}
+	return dist, hops
+}
 
-	// Best metric and first-hop union per remote advertised prefix. Every
-	// advertiser at the globally best distance contributes its first hops;
-	// farther advertisers contribute nothing — equivalent to the per-hop
-	// minimum the map-based implementation kept, because a hop's minimum
-	// over advertisers equals the global minimum whenever the hop reaches a
-	// best-distance advertiser, and hops that don't are filtered either way.
-	//
+// rangeFor returns the most specific configured range on source si that
+// covers prefix p within the given area id, if any. The summarizing key an
+// ABR uses for p is that range's prefix; uncovered prefixes pass through
+// unaggregated.
+func (l *ospfLSDB) rangeFor(si, area int, p netip.Prefix) (netip.Prefix, bool) {
+	var best netip.Prefix
+	found := false
+	for _, r := range l.ranges[si] {
+		if r.Area != area || r.Prefix.Bits() > p.Bits() || !r.Prefix.Contains(p.Addr()) {
+			continue
+		}
+		if !found || r.Prefix.Bits() > best.Bits() {
+			best, found = r.Prefix, true
+		}
+	}
+	return best, found
+}
+
+// areaDist is areaSPF without first-hop bookkeeping: the summary passes in
+// hier only consume distances, and tracking hop sets there roughly doubled
+// the cost of every ABR's per-area Dijkstra.
+func (l *ospfLSDB) areaDist(ai, ls int) []int {
+	nv := len(l.members[ai])
+	const unreached = -1
+	dist := make([]int, nv)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[ls] = 0
+	settled := make([]bool, nv)
+	graph := l.aGraph[ai]
+	for {
+		cur, best := -1, -1
+		for i := 0; i < nv; i++ {
+			if settled[i] || dist[i] == unreached {
+				continue
+			}
+			if best < 0 || dist[i] < best {
+				cur, best = i, dist[i]
+			}
+		}
+		if cur < 0 {
+			break
+		}
+		settled[cur] = true
+		for _, e := range graph[cur] {
+			if nd := dist[cur] + e.cost; dist[e.peer] == unreached || nd < dist[e.peer] {
+				dist[e.peer] = nd
+			}
+		}
+	}
+	return dist
+}
+
+// hier computes the hierarchical (inter-area) state once: the backbone
+// position, the ABR set, each ABR's summary costs into the backbone, and
+// each ABR's backbone view injected into its nonzero areas. Single-area
+// LSDBs stop at the backbone lookup.
+func (l *ospfLSDB) hier() {
+	l.hierOnce.Do(func() {
+		l.backbone = -1
+		for i, a := range l.areas {
+			if a == 0 {
+				l.backbone = i
+			}
+		}
+		if l.backbone < 0 || len(l.areas) < 2 {
+			return
+		}
+		for si := range l.sources {
+			if len(l.areasOf[si]) < 2 {
+				continue
+			}
+			if _, ok := l.localAt[l.backbone][si]; ok {
+				l.abrs = append(l.abrs, si)
+			}
+		}
+		if len(l.abrs) == 0 {
+			return
+		}
+		l.sumInto0 = make([]map[netip.Prefix]int, len(l.sources))
+		l.backView = make([]map[netip.Prefix]int, len(l.sources))
+
+		// When this LSDB was derived, areas that still share every graph and
+		// advertisement row with the parent have byte-identical SPF inputs:
+		// the parent's distance vectors — and, when an ABR's whole nonzero
+		// footprint is clean, its backbone summary — carry over untouched.
+		// (deriveLSDB guarantees the layout matches; parent is only released
+		// after the fingerprint pass, which runs through here first.)
+		par := l.parent
+		var cleanG, cleanA []bool
+		if par != nil {
+			par.hier()
+			if par.hdists == nil {
+				par = nil
+			}
+		}
+		if par != nil {
+			cleanG = make([]bool, len(l.areas))
+			cleanA = make([]bool, len(l.areas))
+			for ai := range l.areas {
+				cleanG[ai] = sharedRow(l.aGraph[ai], par.aGraph[ai])
+				cleanA[ai] = sharedRow(l.aAdv[ai], par.aAdv[ai])
+				if cleanG[ai] && cleanA[ai] {
+					continue
+				}
+				g, a := true, true
+				for li := range l.aGraph[ai] {
+					g = g && sharedRow(l.aGraph[ai][li], par.aGraph[ai][li])
+					a = a && sharedRow(l.aAdv[ai][li], par.aAdv[ai][li])
+				}
+				cleanG[ai], cleanA[ai] = g, a
+			}
+		}
+
+		// Pass 1: per-ABR intra-area distances and backbone summaries.
+		// dists[b] maps area position -> per-member distances from b.
+		dists := make(map[int]map[int][]int, len(l.abrs))
+		l.hdists = make([]map[int][]int, len(l.sources))
+		allSum := true
+		reuseView := make([]bool, len(l.sources))
+		for _, b := range l.abrs {
+			byArea := make(map[int][]int, len(l.areasOf[b]))
+			rangesShared := par != nil && sharedRow(l.ranges[b], par.ranges[b])
+			reuseSum, view := rangesShared, rangesShared
+			for _, ai := range l.areasOf[b] {
+				if par != nil && cleanG[ai] {
+					if pd := par.hdists[b][ai]; pd != nil {
+						byArea[ai] = pd
+					}
+				}
+				if byArea[ai] == nil {
+					byArea[ai] = l.areaDist(ai, l.localAt[ai][b])
+				}
+				if par == nil || !(cleanG[ai] && cleanA[ai]) {
+					view = false
+					if ai != l.backbone {
+						reuseSum = false
+					}
+				}
+			}
+			dists[b] = byArea
+			l.hdists[b] = byArea
+			reuseView[b] = view
+			if reuseSum {
+				l.sumInto0[b] = par.sumInto0[b]
+				continue
+			}
+			allSum = false
+			sum := make(map[netip.Prefix]int)
+			for _, ai := range l.areasOf[b] {
+				if ai == l.backbone {
+					continue
+				}
+				d := byArea[ai]
+				area := l.areas[ai]
+				for li := range l.members[ai] {
+					if d[li] < 0 {
+						continue
+					}
+					for _, p := range l.aAdv[ai][li] {
+						if rp, ok := l.rangeFor(b, area, p); ok {
+							p = rp // aggregate: min component cost wins below
+						}
+						if c, ok := sum[p]; !ok || d[li] < c {
+							sum[p] = d[li]
+						}
+					}
+				}
+			}
+			l.sumInto0[b] = sum
+		}
+
+		// Pass 2: per-ABR backbone view — intra routes over all attached
+		// areas, then backbone-learned summaries for everything else.
+		// Intra-area routes win regardless of cost (OSPF preference). A
+		// parent view carries over only when the ABR's whole footprint is
+		// clean AND every ABR's backbone summary was reused: the view folds
+		// in other ABRs' summaries, so any summary change taints them all.
+		for _, b := range l.abrs {
+			if par != nil && allSum && reuseView[b] {
+				l.backView[b] = par.backView[b]
+				continue
+			}
+			view := make(map[netip.Prefix]int)
+			intra := make(map[netip.Prefix]bool)
+			for _, ai := range l.areasOf[b] {
+				d := dists[b][ai]
+				ls := l.localAt[ai][b]
+				area := l.areas[ai]
+				for li := range l.members[ai] {
+					if li == ls || d[li] < 0 {
+						continue
+					}
+					for _, p := range l.aAdv[ai][li] {
+						if rp, ok := l.rangeFor(b, area, p); ok {
+							p = rp // aggregate into the range summary
+						}
+						if c, ok := view[p]; !ok || !intra[p] || d[li] < c {
+							view[p] = d[li]
+							intra[p] = true
+						}
+					}
+				}
+			}
+			d0 := dists[b][l.backbone]
+			for _, b2 := range l.abrs {
+				if b2 == b {
+					continue
+				}
+				p0 := l.localAt[l.backbone][b2]
+				if d0[p0] < 0 {
+					continue
+				}
+				for p, c := range l.sumInto0[b2] {
+					if intra[p] {
+						continue
+					}
+					if cur, ok := view[p]; !ok || d0[p0]+c < cur {
+						view[p] = d0[p0] + c
+					}
+				}
+			}
+			l.backView[b] = view
+		}
+	})
+}
+
+// routesFrom computes the source router's OSPF routes in deterministic
+// (prefix string, hop) order, or nil when it has none: per-area Dijkstra
+// for intra-area routes, plus ABR summaries for inter-area ones.
+func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
+	if len(l.sources) == 0 {
+		return nil
+	}
+	l.hier()
+
 	// Accumulation is rank-indexed: the global prefix rank doubles as the
 	// dedup key (no per-prefix map or pointer allocations) and as the
 	// emission order, so the final walk needs no sort. A best of 0 marks an
-	// untouched slot — real OSPF metrics are always >= 1.
+	// untouched slot — every candidate's total cost is >= 1 because the
+	// advertiser (intra) or the ABR (inter) is never the source itself.
 	type prefRoute struct {
-		best int
-		hops []ospfHop
+		best  int
+		intra bool
+		hops  []ospfHop
 	}
 	acc := make([]prefRoute, len(l.ranked))
 	localRank := make([]bool, len(l.ranked))
@@ -309,24 +1010,91 @@ func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
 		localRank[l.rank[p]] = true
 	}
 	any := false
-	for di := 0; di < nv; di++ {
-		if di == si || len(hops[di]) == 0 {
-			continue
+	add := func(ri, dist int, intra bool, hs []ospfHop) {
+		if localRank[ri] {
+			return // connected beats OSPF anyway
 		}
-		for _, p := range l.adv[di] {
-			ri := l.rank[p]
-			if localRank[ri] {
-				continue // connected beats OSPF anyway
+		a := &acc[ri]
+		if a.best != 0 {
+			if a.intra && !intra {
+				return // intra-area routes win regardless of cost
 			}
-			a := &acc[ri]
-			if a.best == 0 || dist[di] < a.best {
-				a.best = dist[di]
-				a.hops = a.hops[:0]
-				any = true
+			if a.intra == intra && dist > a.best {
+				return
 			}
-			if dist[di] == a.best {
-				for _, h := range hops[di] {
+			if a.intra == intra && dist == a.best {
+				for _, h := range hs {
 					a.hops = addHop(a.hops, h)
+				}
+				return
+			}
+		}
+		a.best, a.intra = dist, intra
+		a.hops = a.hops[:0]
+		for _, h := range hs {
+			a.hops = addHop(a.hops, h)
+		}
+		any = true
+	}
+
+	// Intra-area candidates, keeping each area's SPF for the inter pass.
+	type areaRun struct {
+		ai   int
+		dist []int
+		hops [][]ospfHop
+	}
+	runs := make([]areaRun, 0, len(l.areasOf[si]))
+	inBackbone := false
+	for _, ai := range l.areasOf[si] {
+		ls := l.localAt[ai][si]
+		dist, hops := l.areaSPF(ai, ls)
+		runs = append(runs, areaRun{ai: ai, dist: dist, hops: hops})
+		if ai == l.backbone {
+			inBackbone = true
+		}
+		for li := range l.members[ai] {
+			if li == ls || dist[li] < 0 || len(hops[li]) == 0 {
+				continue
+			}
+			for _, p := range l.aAdv[ai][li] {
+				add(l.rank[p], dist[li], true, hops[li])
+			}
+		}
+	}
+
+	// Inter-area candidates. Backbone members consume ABR summaries
+	// directly; non-backbone members consume the backbone views their
+	// areas' ABRs re-advertise. Map iteration order is irrelevant: add()
+	// keeps the minimum and unions hops only at the minimum.
+	if len(l.abrs) > 0 {
+		if inBackbone {
+			for _, r := range runs {
+				if r.ai != l.backbone {
+					continue
+				}
+				for _, b := range l.abrs {
+					if b == si {
+						continue
+					}
+					p0 := l.localAt[l.backbone][b]
+					if r.dist[p0] < 0 || len(r.hops[p0]) == 0 {
+						continue
+					}
+					for p, c := range l.sumInto0[b] {
+						add(l.rank[p], r.dist[p0]+c, false, r.hops[p0])
+					}
+				}
+			}
+		} else {
+			for _, r := range runs {
+				for _, b := range l.abrs {
+					lb, ok := l.localAt[r.ai][b]
+					if !ok || r.dist[lb] < 0 || len(r.hops[lb]) == 0 {
+						continue
+					}
+					for p, c := range l.backView[b] {
+						add(l.rank[p], r.dist[lb]+c, false, r.hops[lb])
+					}
 				}
 			}
 		}
@@ -358,11 +1126,15 @@ func (l *ospfLSDB) routesFrom(si int) []FIBEntry {
 }
 
 // fingerprint returns the canonical serialization of the named source's
-// connected component, or false when the source is not an OSPF router.
-// SPF from a source only ever visits its component, and emission order
-// within a component depends only on prefix strings and names, so equal
-// fingerprints guarantee identical routesFrom output — even between LSDBs
-// that differ elsewhere.
+// route scope, or false when the source is not an OSPF router. The scope is
+// every (area, connected component) the source belongs to plus the summary
+// vectors of the ABRs inside those components — exactly the inputs
+// routesFrom reads — so equal fingerprints guarantee identical routesFrom
+// output, even between LSDBs that differ elsewhere. In a multi-area
+// network this localizes invalidation: a change confined to one area
+// leaves every other area's sources reusable, provided the ABR summaries
+// it feeds are unchanged (equal-cost redundancy inside an area keeps them
+// stable under single-element faults).
 func (l *ospfLSDB) fingerprint(name string) (string, bool) {
 	i, ok := l.index[name]
 	if !ok {
@@ -373,83 +1145,193 @@ func (l *ospfLSDB) fingerprint(name string) (string, bool) {
 }
 
 // canonicalKey returns the canonical serialization of the whole LSDB —
-// the SPF memo key. Equal keys mean equal routes() output.
+// the SPF memo key. Equal keys mean equal routes() output. It is built
+// lazily from the retained node serializations: a derivation that never
+// consults the memo never pays the whole-LSDB concatenation.
 func (l *ospfLSDB) canonicalKey() string {
 	l.fpOnce.Do(l.computeFingerprints)
+	l.keyOnce.Do(func() {
+		var keyB strings.Builder
+		for ai, area := range l.areas {
+			keyB.WriteString("A=")
+			keyB.WriteString(strconv.Itoa(area))
+			keyB.WriteByte('\n')
+			for li := range l.members[ai] {
+				keyB.WriteString(l.nodeStrs[ai][li])
+			}
+		}
+		l.key = keyB.String()
+	})
 	return l.key
 }
 
-func (l *ospfLSDB) computeFingerprints() {
-	nv := len(l.sources)
-	// Per-node canonical serialization. Peers are named, not indexed, so
-	// serializations compare across LSDBs whose router sets differ; edge
-	// lists are already in peer-name order and advertisements in global
-	// prefix-string order.
-	nodeStr := make([]string, nv)
-	for i := 0; i < nv; i++ {
-		var b strings.Builder
-		b.WriteString("n=")
-		b.WriteString(l.sources[i])
+// costLines serializes one ABR's summary vector deterministically (prefix
+// rank order), for inclusion in component fingerprints.
+func (l *ospfLSDB) costLines(tag, name string, m map[netip.Prefix]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	ps := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return l.rank[ps[i]] < l.rank[ps[j]] })
+	var b strings.Builder
+	for _, p := range ps {
+		b.WriteString(tag)
+		b.WriteString(name)
+		b.WriteByte('|')
+		b.WriteString(l.rankStr[l.rank[p]])
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(m[p]))
 		b.WriteByte('\n')
-		for _, e := range l.graph[i] {
-			b.WriteString("e=")
-			b.WriteString(l.sources[e.peer])
-			b.WriteByte('|')
-			b.WriteString(e.localIf)
-			b.WriteByte('|')
-			b.WriteString(e.peerAddr.String()) // Addr, not Prefix: no intern
-			b.WriteByte('|')
-			b.WriteString(strconv.Itoa(e.cost))
-			b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (l *ospfLSDB) computeFingerprints() {
+	l.hier()
+	nv := len(l.sources)
+	l.fps = make([]string, nv)
+
+	// Per-(area, member) canonical serialization. Peers are named, not
+	// indexed, so serializations compare across LSDBs whose router sets
+	// differ; edge lists are already in peer-name order and advertisements
+	// in global prefix-string order. Rows still shared with the parent LSDB
+	// (deriveLSDB's structural sharing) have byte-identical serializations
+	// by construction — reuse them instead of re-serializing. The strings
+	// are rank-independent (prefixString values, not rank positions), so
+	// reuse stays valid even when the rank table itself was rebuilt.
+	par := l.parent
+	if par != nil {
+		par.fpOnce.Do(par.computeFingerprints)
+		if par.nodeStrs == nil {
+			par = nil
 		}
-		for _, p := range l.adv[i] {
-			b.WriteString("a=")
-			b.WriteString(prefixString(p))
+	}
+	nodeStr := make([][]string, len(l.areas))
+	for ai := range l.areas {
+		nodeStr[ai] = make([]string, len(l.members[ai]))
+		for li, si := range l.members[ai] {
+			if par != nil &&
+				sharedRow(l.aGraph[ai][li], par.aGraph[ai][li]) &&
+				sharedRow(l.aAdv[ai][li], par.aAdv[ai][li]) &&
+				sharedRow(l.ranges[si], par.ranges[si]) {
+				nodeStr[ai][li] = par.nodeStrs[ai][li]
+				continue
+			}
+			var b strings.Builder
+			b.WriteString("n=")
+			b.WriteString(l.sources[si])
 			b.WriteByte('\n')
+			for _, e := range l.aGraph[ai][li] {
+				b.WriteString("e=")
+				b.WriteString(l.sources[l.members[ai][e.peer]])
+				b.WriteByte('|')
+				b.WriteString(e.localIf)
+				b.WriteByte('|')
+				b.WriteString(e.peerAddr.String()) // Addr, not Prefix: no intern
+				b.WriteByte('|')
+				b.WriteString(strconv.Itoa(e.cost))
+				b.WriteByte('\n')
+			}
+			for _, p := range l.aAdv[ai][li] {
+				b.WriteString("a=")
+				b.WriteString(l.rankStr[l.rank[p]])
+				b.WriteByte('\n')
+			}
+			// Configured ranges for this area change what the member
+			// summarizes elsewhere, so they are part of its serialization
+			// (and thereby the whole-LSDB memo key).
+			for _, r := range l.ranges[si] {
+				if r.Area != l.areas[ai] {
+					continue
+				}
+				b.WriteString("r=")
+				b.WriteString(l.rankStr[l.rank[r.Prefix]])
+				b.WriteByte('\n')
+			}
+			nodeStr[ai][li] = b.String()
 		}
-		nodeStr[i] = b.String()
 	}
 
-	// Undirected connected components: subnet containment can be
+	// ABR summary serializations: what an ABR injects into the backbone
+	// (sumInto0) and into its nonzero areas (backView). These are part of
+	// every component fingerprint the ABR belongs to, because a source's
+	// routes read them even though their inputs live outside its areas.
+	isABR := make([]bool, nv)
+	sumStr := make([]string, nv)
+	viewStr := make([]string, nv)
+	for _, b := range l.abrs {
+		isABR[b] = true
+		sumStr[b] = l.costLines("s=", l.sources[b], l.sumInto0[b])
+		viewStr[b] = l.costLines("v=", l.sources[b], l.backView[b])
+	}
+
+	// Undirected connected components per area: subnet containment can be
 	// asymmetric, so an edge in either direction couples two nodes' SPF
 	// results and they must share a fingerprint scope.
-	parent := make([]int, nv)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
+	parts := make([][]string, nv)
+	for ai, area := range l.areas {
+		nm := len(l.members[ai])
+		parent := make([]int, nm)
+		for i := range parent {
+			parent[i] = i
 		}
-		return x
-	}
-	for i := 0; i < nv; i++ {
-		for _, e := range l.graph[i] {
-			ri, rp := find(i), find(e.peer)
-			if ri != rp {
-				parent[ri] = rp
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for li := range l.aGraph[ai] {
+			for _, e := range l.aGraph[ai][li] {
+				ri, rp := find(li), find(e.peer)
+				if ri != rp {
+					parent[ri] = rp
+				}
+			}
+		}
+		comp := make(map[int][]int)
+		for li := 0; li < nm; li++ {
+			comp[find(li)] = append(comp[find(li)], li)
+		}
+		header := "A=" + strconv.Itoa(area) + "\n"
+		for _, m := range comp {
+			sort.Ints(m)
+			var b strings.Builder
+			b.WriteString(header)
+			for _, li := range m {
+				b.WriteString(nodeStr[ai][li])
+			}
+			for _, li := range m {
+				si := l.members[ai][li]
+				if !isABR[si] {
+					continue
+				}
+				if ai == l.backbone {
+					b.WriteString(sumStr[si])
+				} else {
+					b.WriteString(viewStr[si])
+				}
+			}
+			cs := b.String()
+			for _, li := range m {
+				parts[l.members[ai][li]] = append(parts[l.members[ai][li]], cs)
 			}
 		}
 	}
-	members := make(map[int][]int)
 	for i := 0; i < nv; i++ {
-		members[find(i)] = append(members[find(i)], i)
+		// areasOf is ascending and each area contributes exactly one part,
+		// so the join order is the canonical area order.
+		l.fps[i] = strings.Join(parts[i], "")
 	}
-	l.fps = make([]string, nv)
-	for _, m := range members {
-		sort.Ints(m)
-		var b strings.Builder
-		for _, i := range m {
-			b.WriteString(nodeStr[i])
-		}
-		fp := b.String()
-		for _, i := range m {
-			l.fps[i] = fp
-		}
-	}
-	l.key = strings.Join(nodeStr, "")
+	// Keep the serializations for future derivations (and for canonicalKey),
+	// and release the parent so chains of derived LSDBs don't accumulate.
+	l.nodeStrs = nodeStr
+	l.parent = nil
 }
 
 // SPFMemo memoizes whole link-state results across snapshot derivations,

@@ -1,0 +1,185 @@
+package dataplane
+
+import (
+	"reflect"
+	"testing"
+
+	"heimdall/internal/netmodel"
+)
+
+// threeAreaNet builds a small hierarchical OSPF network: backbone router r0,
+// two ABRs (abr1 into area 1 with an `area range` aggregate, abr2 into
+// area 2 without one), and leaf routers in the nonzero areas. It exercises
+// every structure deriveLSDB patches: multi-area membership, ABR summaries,
+// aggregation ranges, and the global prefix rank.
+func threeAreaNet() *netmodel.Network {
+	n := netmodel.NewNetwork("three-area")
+	for _, r := range []string{"r0", "abr1", "abr2", "r1a", "r1b", "r2a"} {
+		n.AddDevice(r, netmodel.Router)
+	}
+	n.MustConnect("r0", "Gi0/0", "abr1", "Gi0/0")
+	n.MustConnect("r0", "Gi0/1", "abr2", "Gi0/0")
+	n.MustConnect("abr1", "Gi1/0", "r1a", "Gi0/0")
+	n.MustConnect("abr1", "Gi1/1", "r1b", "Gi0/0")
+	n.MustConnect("abr2", "Gi1/0", "r2a", "Gi0/0")
+	set := func(dev, itf, addr string) { n.Device(dev).Interface(itf).Addr = pfx(addr) }
+	set("r0", "Gi0/0", "10.0.0.1/30")
+	set("abr1", "Gi0/0", "10.0.0.2/30")
+	set("r0", "Gi0/1", "10.0.0.5/30")
+	set("abr2", "Gi0/0", "10.0.0.6/30")
+	set("abr1", "Gi1/0", "10.1.0.1/30")
+	set("r1a", "Gi0/0", "10.1.0.2/30")
+	set("abr1", "Gi1/1", "10.1.0.5/30")
+	set("r1b", "Gi0/0", "10.1.0.6/30")
+	set("abr2", "Gi1/0", "10.2.0.1/30")
+	set("r2a", "Gi0/0", "10.2.0.2/30")
+	n.Device("r0").AddInterface("Loopback0").Addr = pfx("10.0.255.1/32")
+	n.Device("r1a").AddInterface("Loopback0").Addr = pfx("10.1.255.1/32")
+	n.Device("r1b").AddInterface("Loopback0").Addr = pfx("10.1.255.2/32")
+	n.Device("r2a").AddInterface("Loopback0").Addr = pfx("10.2.255.1/32")
+	ospf := func(dev string, nets []netmodel.OSPFNetwork, ranges []netmodel.OSPFNetwork) {
+		n.Device(dev).OSPF = &netmodel.OSPFProcess{ProcessID: 1,
+			Networks: nets, Ranges: ranges,
+			Passive: map[string]bool{"Loopback0": true}}
+	}
+	area := func(p string, a int) netmodel.OSPFNetwork {
+		return netmodel.OSPFNetwork{Prefix: pfx(p), Area: a}
+	}
+	ospf("r0", []netmodel.OSPFNetwork{area("10.0.0.0/16", 0)}, nil)
+	ospf("abr1", []netmodel.OSPFNetwork{area("10.0.0.0/24", 0), area("10.1.0.0/16", 1)},
+		[]netmodel.OSPFNetwork{area("10.1.0.0/16", 1)})
+	ospf("abr2", []netmodel.OSPFNetwork{area("10.0.0.0/24", 0), area("10.2.0.0/16", 2)}, nil)
+	ospf("r1a", []netmodel.OSPFNetwork{area("10.1.0.0/16", 1)}, nil)
+	ospf("r1b", []netmodel.OSPFNetwork{area("10.1.0.0/16", 1)}, nil)
+	ospf("r2a", []netmodel.OSPFNetwork{area("10.2.0.0/16", 2)}, nil)
+	return n
+}
+
+// TestDeriveLSDBMatchesBuild pins deriveLSDB's contract: for every change
+// class — patchable or fallback — the patched LSDB must be semantically
+// identical to a from-scratch buildLSDB of the mutated network: same
+// canonical key, same per-source fingerprints, same routes.
+func TestDeriveLSDBMatchesBuild(t *testing.T) {
+	cases := []struct {
+		name   string
+		device string
+		topo   bool // adjacency rebuilt (L3-topology class)
+		apply  func(d *netmodel.Device)
+	}{
+		{"ospf-cost", "abr1", false, func(d *netmodel.Device) {
+			d.Interface("Gi1/0").OSPFCost = 7
+		}},
+		{"passive-toggle", "abr1", false, func(d *netmodel.Device) {
+			d.OSPF.Passive["Gi1/1"] = true
+		}},
+		{"leaf-interface-down", "r1b", true, func(d *netmodel.Device) {
+			d.Interface("Gi0/0").Shutdown = true
+		}},
+		{"backbone-interface-down", "r0", true, func(d *netmodel.Device) {
+			d.Interface("Gi0/1").Shutdown = true
+		}},
+		{"range-added", "abr2", false, func(d *netmodel.Device) {
+			d.OSPF.Ranges = []netmodel.OSPFNetwork{{Prefix: pfx("10.2.0.0/16"), Area: 2}}
+		}},
+		{"range-removed", "abr1", false, func(d *netmodel.Device) {
+			d.OSPF.Ranges = nil
+		}},
+		{"new-advertised-prefix", "r2a", false, func(d *netmodel.Device) {
+			d.AddInterface("Loopback1").Addr = pfx("10.2.254.1/32")
+		}},
+		// Structural drift: each of these must take the full-rebuild
+		// fallback and still come out exact.
+		{"router-leaves", "r2a", false, func(d *netmodel.Device) {
+			d.OSPF = nil
+		}},
+		{"area-membership-changes", "abr2", false, func(d *netmodel.Device) {
+			d.OSPF.Networks = []netmodel.OSPFNetwork{{Prefix: pfx("10.0.0.0/24"), Area: 0}}
+		}},
+		{"new-area-id", "r2a", false, func(d *netmodel.Device) {
+			d.OSPF.Networks = []netmodel.OSPFNetwork{{Prefix: pfx("10.2.0.0/16"), Area: 7}}
+		}},
+	}
+	base := threeAreaNet()
+	oldAdj := computeAdjacency(base)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := buildLSDB(base, oldAdj)
+			mutated := base.CloneCOW(tc.device)
+			tc.apply(mutated.Devices[tc.device])
+			newAdj := oldAdj
+			if tc.topo {
+				newAdj = computeAdjacency(mutated)
+			}
+			derived := deriveLSDB(old, base, mutated, oldAdj, newAdj, tc.topo,
+				map[string]bool{tc.device: true})
+			fresh := buildLSDB(mutated, newAdj)
+			if derived.canonicalKey() != fresh.canonicalKey() {
+				t.Errorf("canonical key diverged:\nderived:\n%s\nfresh:\n%s",
+					derived.canonicalKey(), fresh.canonicalKey())
+			}
+			for _, src := range fresh.sources {
+				df, _ := derived.fingerprint(src)
+				ff, _ := fresh.fingerprint(src)
+				if df != ff {
+					t.Errorf("%s fingerprint diverged:\nderived:\n%s\nfresh:\n%s", src, df, ff)
+				}
+			}
+			if !reflect.DeepEqual(derived.routes(), fresh.routes()) {
+				t.Errorf("routes diverged:\n%+v\nvs\n%+v", derived.routes(), fresh.routes())
+			}
+		})
+	}
+}
+
+// TestDeriveLSDBSharesUntouchedAreas pins the structural sharing itself: a
+// change confined to area 1 must leave area 2's graph and advertisement
+// rows — and the whole rank table — shared with the parent by identity.
+func TestDeriveLSDBSharesUntouchedAreas(t *testing.T) {
+	base := threeAreaNet()
+	oldAdj := computeAdjacency(base)
+	old := buildLSDB(base, oldAdj)
+	mutated := base.CloneCOW("r1a")
+	mutated.Devices["r1a"].Interface("Gi0/0").OSPFCost = 5
+	derived := deriveLSDB(old, base, mutated, oldAdj, oldAdj, false,
+		map[string]bool{"r1a": true})
+	if derived.parent != old {
+		t.Fatal("derived LSDB did not record its parent")
+	}
+	areaPos := map[int]int{}
+	for i, a := range derived.areas {
+		areaPos[a] = i
+	}
+	// abr1 is adjacent to the changed device, so its own rows legitimately
+	// rebuild everywhere it appears; every other area-0/2 row must be
+	// carried over by identity.
+	abr1 := derived.index["abr1"]
+	for _, a := range []int{0, 2} {
+		ai := areaPos[a]
+		for li := range derived.aGraph[ai] {
+			if derived.members[ai][li] == abr1 {
+				continue
+			}
+			if !sharedRow(derived.aGraph[ai][li], old.aGraph[ai][li]) {
+				t.Errorf("area %d graph row %d rebuilt despite the change being in area 1", a, li)
+			}
+		}
+	}
+	if !sharedRow(derived.ranked, old.ranked) {
+		t.Error("rank table rebuilt despite an unchanged prefix union")
+	}
+	// The fingerprint pass must reuse untouched serializations and then
+	// release the parent.
+	derived.canonicalKey()
+	if derived.parent != nil {
+		t.Error("fingerprint pass did not release the parent reference")
+	}
+	r2a := derived.index["r2a"]
+	ai2 := areaPos[2]
+	li2 := derived.localAt[ai2][r2a]
+	if derived.nodeStrs == nil || old.nodeStrs == nil {
+		t.Fatal("node serializations were not retained")
+	}
+	if &derived.nodeStrs[ai2][li2] == nil || derived.nodeStrs[ai2][li2] != old.nodeStrs[ai2][li2] {
+		t.Error("area 2 node serialization was rebuilt instead of reused")
+	}
+}

@@ -102,25 +102,98 @@ func ComputeWithOptions(n *netmodel.Network, opts Options) *Snapshot {
 // independent given the shared (read-only) adjacency and protocol routes,
 // so the builds fan out over a bounded pool; results land in
 // index-addressed slots, making the maps identical to a serial build.
+//
+// Structurally identical devices share storage: generated topologies
+// produce many byte-identical RIBs (every host behind one gateway, the
+// symmetric members of a fat-tree pod), so RIBs are deduplicated by
+// content before the FIB pass and duplicates alias one route slice and
+// one LPM trie. Dedup is by hash bucket plus a full entry-by-entry
+// equality check — a hash collision can cost a comparison, never a wrong
+// share — and since snapshots are immutable the aliasing is invisible to
+// every consumer.
 func buildRIBs(n *netmodel.Network, devs []string, adj adjacency,
 	ospfRoutes, bgpRoutes map[string][]FIBEntry) (map[string][]FIBEntry, map[string]*LPM) {
 
-	type slot struct {
-		rib []FIBEntry
-		fib *LPM
-	}
-	slots := make([]slot, len(devs))
+	ribSlots := make([][]FIBEntry, len(devs))
 	fanOut(len(devs), func(i int) {
-		rib := ribFor(n, devs[i], adj, ospfRoutes, bgpRoutes)
-		slots[i] = slot{rib: rib, fib: fibFrom(rib)}
+		ribSlots[i] = ribFor(n, devs[i], adj, ospfRoutes, bgpRoutes)
 	})
+
+	canon := make([]int, len(devs)) // device index -> representative index
+	byHash := make(map[uint64][]int, len(devs))
+	uniq := make([]int, 0, len(devs))
+	for i := range ribSlots {
+		h := ribHash(ribSlots[i])
+		rep := -1
+		for _, j := range byHash[h] {
+			if fibSlicesEqual(ribSlots[j], ribSlots[i]) {
+				rep = j
+				break
+			}
+		}
+		if rep < 0 {
+			byHash[h] = append(byHash[h], i)
+			canon[i] = i
+			uniq = append(uniq, i)
+			continue
+		}
+		canon[i] = rep
+		ribSlots[i] = ribSlots[rep]
+	}
+
+	fibSlots := make([]*LPM, len(devs))
+	fanOut(len(uniq), func(k int) {
+		i := uniq[k]
+		fibSlots[i] = fibFrom(ribSlots[i])
+	})
+
 	ribs := make(map[string][]FIBEntry, len(devs))
 	fibs := make(map[string]*LPM, len(devs))
 	for i, dev := range devs {
-		ribs[dev] = slots[i].rib
-		fibs[dev] = slots[i].fib
+		ribs[dev] = ribSlots[canon[i]]
+		fibs[dev] = fibSlots[canon[i]]
 	}
 	return ribs, fibs
+}
+
+// ribHash is an FNV-1a digest of a RIB's content, used to bucket devices
+// for structural sharing. Collisions are resolved by full comparison.
+func ribHash(rib []FIBEntry) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mixInt := func(v int) {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(v >> s))
+		}
+	}
+	mixAddr := func(a netip.Addr) {
+		if !a.IsValid() {
+			mix(0xff)
+			return
+		}
+		b := a.As16()
+		for _, x := range b {
+			mix(x)
+		}
+	}
+	for i := range rib {
+		e := &rib[i]
+		mixAddr(e.Prefix.Addr())
+		mix(byte(e.Prefix.Bits()))
+		mix(byte(e.Proto))
+		mixAddr(e.NextHop)
+		mixInt(len(e.OutIf))
+		for j := 0; j < len(e.OutIf); j++ {
+			mix(e.OutIf[j])
+		}
+		mixInt(e.AD)
+		mixInt(e.Metric)
+	}
+	return h
 }
 
 // fibFrom builds the longest-prefix-match table for one device's RIB. The

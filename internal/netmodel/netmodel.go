@@ -332,6 +332,12 @@ type OSPFProcess struct {
 	ProcessID int
 	RouterID  netip.Addr
 	Networks  []OSPFNetwork
+	// Ranges configures ABR route aggregation (`area <n> range <prefix>`):
+	// when this router advertises Area's intra-area prefixes into another
+	// area, prefixes covered by Prefix collapse into a single summary for
+	// Prefix whose cost is the minimum component cost (RFC 1583
+	// compatibility semantics). Ranges on non-ABRs are inert.
+	Ranges []OSPFNetwork
 	// Passive interfaces advertise their subnet but form no adjacency.
 	Passive map[string]bool
 }
@@ -342,6 +348,7 @@ func (o *OSPFProcess) Clone() *OSPFProcess {
 		ProcessID: o.ProcessID,
 		RouterID:  o.RouterID,
 		Networks:  append([]OSPFNetwork(nil), o.Networks...),
+		Ranges:    append([]OSPFNetwork(nil), o.Ranges...),
 		Passive:   make(map[string]bool, len(o.Passive)),
 	}
 	for k, v := range o.Passive {

@@ -1,0 +1,245 @@
+package generate
+
+import (
+	"fmt"
+
+	"heimdall/internal/netmodel"
+	"heimdall/internal/scenarios"
+	"heimdall/internal/spec"
+	"heimdall/internal/ticket"
+)
+
+// FatTreeParams sizes the datacenter generator.
+type FatTreeParams struct {
+	// K is the fat-tree arity: K pods of K/2 aggregation routers and K/2
+	// top-of-rack switches, (K/2)^2 cores, K/2 hosts per rack. Clamped to
+	// an even value in [4, 16]. K=8 yields 80 switches/routers and 128
+	// hosts; K=16 yields 320 and 1024.
+	K int
+	// Seed varies the sampled cross-pod slice of the mined policy set.
+	Seed int64
+	// CrossSample overrides the cross-pod mining rate (0 = default:
+	// exhaustive at K=4, 4% above).
+	CrossSample float64
+}
+
+func (p *FatTreeParams) normalize() {
+	if p.K < 4 {
+		p.K = 4
+	}
+	if p.K > 16 {
+		p.K = 16
+	}
+	p.K &^= 1
+	if p.CrossSample == 0 {
+		if p.K <= 4 {
+			p.CrossSample = 1
+		} else {
+			p.CrossSample = 0.04
+		}
+	}
+}
+
+// FatTree builds a k-ary fat-tree datacenter scenario: (k/2)^2 core
+// routers in k/2 groups, k pods of k/2 aggregation routers and k/2
+// top-of-rack L3 access switches, and k/2 hosts per rack sharing the
+// rack's VLAN. Core<g,j> links to pod p's aggregation router g, and every
+// pod is a full agg-edge bipartite graph, so every cross-pod path has k/2
+// equal-cost uplink choices at the rack and pod layers — the ECMP-heavy
+// regime the partitioned SPF and FIB interning are sized for.
+//
+// OSPF areas follow the physical hierarchy: the core-agg backbone is area
+// 0 (aggregation routers are the ABRs), pod p is area p+1, rack subnets
+// are passive SVIs. Addressing: backbone /30s under 10.192.0.0/11, pod
+// p's /30s inside 10.224.<p>.0/24, rack p/i at 10.<p>.<i>.0/24. The
+// aggregation routers carry `area range` statements summarizing each pod
+// (10.<p>.0.0/16 + 10.224.<p>.0/24) toward the backbone and the backbone
+// (10.192.0.0/11) toward the pods, so a single link fault stays invisible
+// outside its own area — the property the incremental Derive path exploits.
+func FatTree(params FatTreeParams) *scenarios.Scenario {
+	params.normalize()
+	k := params.K
+	half := k / 2
+	n := netmodel.NewNetwork(fmt.Sprintf("fattree-k%d", k))
+
+	core := func(g, j int) string { return fmt.Sprintf("c%d-%d", g, j) }
+	agg := func(p, g int) string { return fmt.Sprintf("a%d-%d", p, g) }
+	edge := func(p, i int) string { return fmt.Sprintf("e%d-%d", p, i) }
+	host := func(p, i, j int) string { return fmt.Sprintf("h%d-%d-%d", p, i, j) }
+
+	for g := 0; g < half; g++ {
+		for j := 0; j < half; j++ {
+			n.AddDevice(core(g, j), netmodel.Router)
+		}
+	}
+	for p := 0; p < k; p++ {
+		for g := 0; g < half; g++ {
+			n.AddDevice(agg(p, g), netmodel.Router)
+		}
+		for i := 0; i < half; i++ {
+			sw := n.AddDevice(edge(p, i), netmodel.Switch)
+			sw.VLANs[10] = &netmodel.VLAN{ID: 10, Name: "rack"}
+			svi := sw.AddInterface("Vlan10")
+			svi.Addr = prefix4(10, byte(p), byte(i), 1, 24)
+			for j := 0; j < half; j++ {
+				n.AddDevice(host(p, i, j), netmodel.Host)
+			}
+		}
+	}
+
+	// Backbone: core<g,j> to every pod's aggregation router g.
+	li := 0
+	for g := 0; g < half; g++ {
+		for j := 0; j < half; j++ {
+			for p := 0; p < k; p++ {
+				link30(n, core(g, j), fmt.Sprintf("Gi0/%d", p),
+					agg(p, g), fmt.Sprintf("Gi0/%d", j), linkBase(192, li))
+				li++
+			}
+		}
+	}
+	// Pods: full agg-edge bipartite graph, then racks. Pod p's link /30s
+	// all sit inside 10.224.<p>.0/24 ((k/2)^2 <= 64 links per pod) so the
+	// pod range statements below can summarize them.
+	for p := 0; p < k; p++ {
+		lp := 0
+		for g := 0; g < half; g++ {
+			for i := 0; i < half; i++ {
+				link30(n, agg(p, g), fmt.Sprintf("Gi1/%d", i),
+					edge(p, i), fmt.Sprintf("Gi0/%d", g), linkBase(224, p*64+lp))
+				lp++
+			}
+		}
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				attachLAN(n, host(p, i, j), edge(p, i), fmt.Sprintf("Gi1/%d", j),
+					10, n.Devices[edge(p, i)].Interface("Vlan10").Addr, byte(10+j))
+			}
+		}
+	}
+
+	// OSPF: backbone range in area 0, pod p's ranges in area p+1.
+	backbone := netmodel.OSPFNetwork{Prefix: prefix4(10, 192, 0, 0, 11), Area: 0}
+	podRange := prefix4(10, 224, 0, 0, 11)
+	rackRange := prefix4(10, 0, 0, 0, 12)
+	for g := 0; g < half; g++ {
+		for j := 0; j < half; j++ {
+			n.Devices[core(g, j)].OSPF = &netmodel.OSPFProcess{
+				ProcessID: 1, RouterID: addr4(1, byte(g), byte(j), 1),
+				Networks: []netmodel.OSPFNetwork{backbone},
+				Passive:  map[string]bool{},
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for g := 0; g < half; g++ {
+			n.Devices[agg(p, g)].OSPF = &netmodel.OSPFProcess{
+				ProcessID: 1, RouterID: addr4(2, byte(p), byte(g), 1),
+				Networks: []netmodel.OSPFNetwork{
+					{Prefix: podRange, Area: p + 1}, backbone,
+				},
+				// ABR summaries: the pod collapses to two aggregates toward
+				// the backbone, the backbone to one toward the pod.
+				Ranges: []netmodel.OSPFNetwork{
+					{Prefix: prefix4(10, byte(p), 0, 0, 16), Area: p + 1},
+					{Prefix: prefix4(10, 224, byte(p), 0, 24), Area: p + 1},
+					{Prefix: prefix4(10, 192, 0, 0, 11), Area: 0},
+				},
+				Passive: map[string]bool{},
+			}
+		}
+		for i := 0; i < half; i++ {
+			n.Devices[edge(p, i)].OSPF = &netmodel.OSPFProcess{
+				ProcessID: 1, RouterID: addr4(3, byte(p), byte(i), 1),
+				Networks: []netmodel.OSPFNetwork{
+					{Prefix: podRange, Area: p + 1},
+					{Prefix: rackRange, Area: p + 1},
+				},
+				Passive: map[string]bool{"Vlan10": true},
+			}
+		}
+	}
+
+	// Rack 0-0 is the storage rack: sensitive, reachable on ssh from the
+	// admin rack (0-1) only. The guard hangs on the storage rack's SVI.
+	sensitive := make(map[string]bool, half)
+	for j := 0; j < half; j++ {
+		sensitive[host(0, 0, j)] = true
+	}
+	guard := n.Devices[edge(0, 0)].ACL("STORAGE-GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Permit, Proto: netmodel.TCP,
+		Src: prefix4(10, 0, 1, 0, 24), Dst: prefix4(10, 0, 0, 0, 24), DstPort: 22})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: prefix4(10, 0, 0, 0, 24)})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 30, Action: netmodel.Permit})
+	n.Devices[edge(0, 0)].Interface("Vlan10").ACLOut = "STORAGE-GUARD"
+
+	// Mining partition: one partition per pod. Intra-pod pairs are probed
+	// exhaustively; cross-pod pairs are sampled (the pods are symmetric, so
+	// the sample pins the same behaviour classes).
+	partition := make(map[string]string, k*half*half)
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				partition[host(p, i, j)] = fmt.Sprintf("pod%d", p)
+			}
+		}
+	}
+
+	issues := fatTreeIssues(host, edge, half)
+	return finish(n.Name, n, sensitive, spec.Options{
+		Services:    []spec.Service{{Proto: netmodel.ICMP}, {Proto: netmodel.TCP, Port: 22}},
+		Sensitive:   sensitive,
+		MaxPolicies: 400,
+		Partition:   partition,
+		CrossSample: params.CrossSample,
+		Seed:        params.Seed,
+	}, issues)
+}
+
+// fatTreeIssues scripts the scenario's three ticket classes. Single-link
+// faults are invisible to reachability on this fabric (ECMP reroutes), so
+// each issue is a device-scoped misconfiguration that actually strands
+// traffic.
+func fatTreeIssues(host func(p, i, j int) string, edge func(p, i int) string, half int) []scenarios.Issue {
+	// Over-tight storage guard: an extra deny locks the admin rack out.
+	aclFault := ticket.ACLDeny(edge(0, 0), "STORAGE-GUARD", 5, prefix4(10, 0, 0, 10, 32), 22)
+	acl := scenarios.Issue{
+		Name: "acl", Fault: aclFault,
+		SrcHost: host(0, 1, 0), DstHost: host(0, 0, 0),
+		Proto: netmodel.TCP, DstPort: 22,
+	}
+	script(&acl,
+		ticket.FixCommand{Device: edge(0, 0), Line: "show access-lists STORAGE-GUARD"},
+		ticket.FixCommand{Device: edge(0, 0), Line: "show running-config"},
+	)
+
+	// Botched passive-interface rollout on a ToR: all uplinks silenced,
+	// stranding the rack despite the fabric's redundancy.
+	uplinks := make([]string, half)
+	for g := 0; g < half; g++ {
+		uplinks[g] = fmt.Sprintf("Gi0/%d", g)
+	}
+	ospfFault := passiveAllFault(edge(1, 0), uplinks, "10.1.0.0/24")
+	ospf := scenarios.Issue{
+		Name: "ospf", Fault: ospfFault,
+		SrcHost: host(0, 0, 0), DstHost: host(1, 0, 0), Proto: netmodel.ICMP,
+	}
+	script(&ospf,
+		ticket.FixCommand{Device: edge(1, 0), Line: "show ip ospf neighbor"},
+		ticket.FixCommand{Device: edge(1, 0), Line: "show running-config"},
+	)
+
+	// Classic access-port VLAN mistake on another rack.
+	vlanFault := ticket.WrongAccessVLAN(edge(2, 0), "Gi1/0", 999, 10)
+	vlan := scenarios.Issue{
+		Name: "vlan", Fault: vlanFault,
+		SrcHost: host(0, 0, 0), DstHost: host(2, 0, 0), Proto: netmodel.ICMP,
+	}
+	script(&vlan,
+		ticket.FixCommand{Device: edge(2, 0), Line: "show vlan"},
+		ticket.FixCommand{Device: edge(2, 0), Line: "show running-config"},
+	)
+
+	return []scenarios.Issue{acl, ospf, vlan}
+}

@@ -1,0 +1,207 @@
+package generate
+
+import (
+	"fmt"
+	"net/netip"
+
+	"heimdall/internal/netmodel"
+	"heimdall/internal/scenarios"
+	"heimdall/internal/spec"
+	"heimdall/internal/ticket"
+)
+
+// ISPParams sizes the provider-backbone generator.
+type ISPParams struct {
+	// Pops is the number of backbone PoP routers in the core ring
+	// (clamped to [4, 16], default 8).
+	Pops int
+	// CustomersPerPop is the number of eBGP customer attachments per PoP
+	// (clamped to [1, 8], default 3).
+	CustomersPerPop int
+	// Seed varies the sampled cross-customer slice of the mined policies.
+	Seed int64
+	// CrossSample overrides the cross-customer mining rate (default 0.25).
+	CrossSample float64
+}
+
+func (p *ISPParams) normalize() {
+	if p.Pops == 0 {
+		p.Pops = 8
+	}
+	if p.Pops < 4 {
+		p.Pops = 4
+	}
+	if p.Pops > 16 {
+		p.Pops = 16
+	}
+	if p.CustomersPerPop == 0 {
+		p.CustomersPerPop = 3
+	}
+	if p.CustomersPerPop < 1 {
+		p.CustomersPerPop = 1
+	}
+	if p.CustomersPerPop > 8 {
+		p.CustomersPerPop = 8
+	}
+	if p.CrossSample == 0 {
+		p.CrossSample = 0.25
+	}
+}
+
+// ISP builds a provider-backbone scenario: a ring of PoP routers plus two
+// reflector hubs linked to every PoP, and many customer edge routers each
+// attached to a PoP over eBGP. Every backbone router runs its own private
+// AS (iBGP is out of scope in the dataplane model), so customer routes
+// propagate path-vector through the core and concentrate on the hub
+// routers — the same route-distribution role route reflectors play in a
+// real iBGP mesh. The backbone interior also runs single-area OSPF over
+// the infrastructure /30s (10.99.0.0/16); customer blocks are
+// 10.<40+n>.0.0/16, originated by each customer edge via BGP.
+func ISP(params ISPParams) *scenarios.Scenario {
+	params.normalize()
+	pops, perPop := params.Pops, params.CustomersPerPop
+	customers := pops * perPop
+	n := netmodel.NewNetwork(fmt.Sprintf("isp-p%d-c%d", pops, customers))
+
+	pop := func(i int) string { return fmt.Sprintf("p%d", i) }
+	rr := func(r int) string { return fmt.Sprintf("rr%d", r) }
+	ce := func(c int) string { return fmt.Sprintf("ce%02d", c) }
+	host := func(c, j int) string { return fmt.Sprintf("hc%02d-%d", c, j) }
+	popAS := func(i int) int { return 64610 + i }
+	rrAS := func(r int) int { return 64601 + r }
+	ceAS := func(c int) int { return 65001 + c }
+
+	as := make(map[string]int)
+	for i := 0; i < pops; i++ {
+		n.AddDevice(pop(i), netmodel.Router)
+		as[pop(i)] = popAS(i)
+	}
+	for r := 0; r < 2; r++ {
+		n.AddDevice(rr(r), netmodel.Router)
+		as[rr(r)] = rrAS(r)
+	}
+	for c := 0; c < customers; c++ {
+		n.AddDevice(ce(c), netmodel.Router)
+		as[ce(c)] = ceAS(c)
+		n.AddDevice(host(c, 1), netmodel.Host)
+		n.AddDevice(host(c, 2), netmodel.Host)
+	}
+
+	// BGP processes first, so link construction can add the neighbor
+	// statements for both ends in one place.
+	for name, a := range as {
+		d := n.Devices[name]
+		d.BGP = &netmodel.BGPProcess{LocalAS: a, RouterID: addr4(9, 9, byte(a%256), byte(a/256))}
+	}
+	bgpLink := func(devA, ifA, devB, ifB string, base netip.Addr) {
+		link30(n, devA, ifA, devB, ifB, base)
+		aItf := n.Devices[devA].Interface(ifA).Addr.Addr()
+		bItf := n.Devices[devB].Interface(ifB).Addr.Addr()
+		n.Devices[devA].BGP.SetNeighbor(bItf, as[devB])
+		n.Devices[devB].BGP.SetNeighbor(aItf, as[devA])
+	}
+
+	// Core: PoP ring plus both hubs linked to every PoP.
+	li := 0
+	infra := func() netip.Addr { b := addr4(10, 99, byte(li), 0); li++; return b }
+	for i := 0; i < pops; i++ {
+		bgpLink(pop(i), "Gi0/0", pop((i+1)%pops), "Gi0/1", infra())
+	}
+	for r := 0; r < 2; r++ {
+		for i := 0; i < pops; i++ {
+			bgpLink(rr(r), fmt.Sprintf("Gi0/%d", i), pop(i), fmt.Sprintf("Gi1/%d", r), infra())
+		}
+	}
+	bgpLink(rr(0), fmt.Sprintf("Gi0/%d", pops), rr(1), fmt.Sprintf("Gi0/%d", pops), infra())
+
+	// Customers: eBGP attachment on 10.<40+c>.255.0/30, two host subnets,
+	// the /16 aggregate originated at the edge.
+	for c := 0; c < customers; c++ {
+		p := c % pops
+		blk := byte(40 + c)
+		bgpLink(pop(p), fmt.Sprintf("Gi2/%d", c/pops), ce(c), "Gi0/0", addr4(10, blk, 255, 0))
+		attach(n, host(c, 1), ce(c), "Gi0/1", addr4(10, blk, 1, 0), 10)
+		attach(n, host(c, 2), ce(c), "Gi0/2", addr4(10, blk, 2, 0), 10)
+		n.Devices[ce(c)].BGP.Networks = []netip.Prefix{prefix4(10, blk, 0, 0, 16)}
+	}
+
+	// Backbone interior IGP over the infrastructure range.
+	for i := 0; i < pops; i++ {
+		n.Devices[pop(i)].OSPF = &netmodel.OSPFProcess{
+			ProcessID: 1, RouterID: addr4(5, 0, byte(i), 1),
+			Networks: []netmodel.OSPFNetwork{{Prefix: prefix4(10, 99, 0, 0, 16), Area: 0}},
+			Passive:  map[string]bool{},
+		}
+	}
+	for r := 0; r < 2; r++ {
+		n.Devices[rr(r)].OSPF = &netmodel.OSPFProcess{
+			ProcessID: 1, RouterID: addr4(5, 1, byte(r), 1),
+			Networks: []netmodel.OSPFNetwork{{Prefix: prefix4(10, 99, 0, 0, 16), Area: 0}},
+			Passive:  map[string]bool{},
+		}
+	}
+
+	// Customer 1 hosts the billing service: https from customer 0's first
+	// subnet only, guarded at the customer edge's uplink.
+	sensitive := map[string]bool{host(1, 2): true}
+	guard := n.Devices[ce(1)].ACL("BILLING-GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Permit, Proto: netmodel.TCP,
+		Src: prefix4(10, 40, 1, 0, 24), Dst: prefix4(10, 41, 2, 0, 24), DstPort: 443})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: prefix4(10, 41, 2, 0, 24)})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 30, Action: netmodel.Permit})
+	n.Devices[ce(1)].Interface("Gi0/0").ACLIn = "BILLING-GUARD"
+
+	partition := make(map[string]string, 2*customers)
+	for c := 0; c < customers; c++ {
+		partition[host(c, 1)] = fmt.Sprintf("c%02d", c)
+		partition[host(c, 2)] = fmt.Sprintf("c%02d", c)
+	}
+
+	issues := ispIssues(ce, host, popAS(0))
+	return finish(n.Name, n, sensitive, spec.Options{
+		Services:    []spec.Service{{Proto: netmodel.ICMP}, {Proto: netmodel.TCP, Port: 443}},
+		Sensitive:   sensitive,
+		MaxPolicies: 300,
+		Partition:   partition,
+		CrossSample: params.CrossSample,
+		Seed:        params.Seed,
+	}, issues)
+}
+
+// ispIssues scripts the scenario's three ticket classes.
+func ispIssues(ce func(int) string, host func(c, j int) string, pop0AS int) []scenarios.Issue {
+	// The provider renumbered its PoP ASes and customer 0's side of the
+	// peering was fat-fingered.
+	bgpFault := ticket.BGPWrongAS(ce(0), 65001, addr4(10, 40, 255, 1), pop0AS+80, pop0AS)
+	bgp := scenarios.Issue{
+		Name: "bgp", Fault: bgpFault,
+		SrcHost: host(0, 1), DstHost: host(4, 1), Proto: netmodel.ICMP,
+	}
+	script(&bgp,
+		ticket.FixCommand{Device: ce(0), Line: "show ip bgp"},
+		ticket.FixCommand{Device: ce(0), Line: "show running-config"},
+	)
+
+	// An over-tight ACL edit locked the authorized client out of billing.
+	aclFault := ticket.ACLDeny(ce(1), "BILLING-GUARD", 5, prefix4(10, 41, 2, 10, 32), 443)
+	acl := scenarios.Issue{
+		Name: "acl", Fault: aclFault,
+		SrcHost: host(0, 1), DstHost: host(1, 2), Proto: netmodel.TCP, DstPort: 443,
+	}
+	script(&acl,
+		ticket.FixCommand{Device: ce(1), Line: "show access-lists BILLING-GUARD"},
+	)
+
+	// A maintenance window left customer 2's uplink shut down.
+	ifFault := ticket.InterfaceDown(ce(2), "Gi0/0")
+	iface := scenarios.Issue{
+		Name: "interface", Fault: ifFault,
+		SrcHost: host(0, 1), DstHost: host(2, 1), Proto: netmodel.ICMP,
+	}
+	script(&iface,
+		ticket.FixCommand{Device: ce(2), Line: "show interfaces"},
+	)
+
+	return []scenarios.Issue{bgp, acl, iface}
+}

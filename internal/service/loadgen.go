@@ -58,20 +58,27 @@ type LoadReport struct {
 	Reviews        int64   `json:"reviews"`
 	Backpressure   int64   `json:"backpressure"`
 	Commits        int64   `json:"commits"`
-	SetupSeconds   float64 `json:"setup_seconds"`
-	RunSeconds     float64 `json:"run_seconds"`
-	CmdsPerSec     float64 `json:"cmds_per_sec"`
-	P50Ms          float64 `json:"p50_ms"`
-	P99Ms          float64 `json:"p99_ms"`
-	PeakQueueDepth int     `json:"peak_queue_depth"`
+	SetupSeconds float64 `json:"setup_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	CmdsPerSec   float64 `json:"cmds_per_sec"`
+	// P50Ms/P99Ms cover the mediated Exec path only — command parsing,
+	// reference-monitor checks, twin apply. Verify-pool queue wait is
+	// reported separately below so a deep review backlog cannot masquerade
+	// as slow mediation.
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	VerifyQueueP50Ms float64 `json:"verify_queue_p50_ms"`
+	VerifyQueueP99Ms float64 `json:"verify_queue_p99_ms"`
+	PeakQueueDepth   int     `json:"peak_queue_depth"`
 }
 
 // String renders the report's headline.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, p50 %.3fms, p99 %.3fms), %d denied, %d errors, %d reviews (%d backpressured), %d commits, peak queue depth %d",
+		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, mediation p50 %.3fms, p99 %.3fms), %d denied, %d errors, %d reviews (%d backpressured), %d commits, verify queue wait p50 %.3fms, p99 %.3fms, peak depth %d",
 		r.Tenants, r.Sessions, r.Commands, r.RunSeconds, r.CmdsPerSec,
-		r.P50Ms, r.P99Ms, r.Denied, r.Errors, r.Reviews, r.Backpressure, r.Commits, r.PeakQueueDepth)
+		r.P50Ms, r.P99Ms, r.Denied, r.Errors, r.Reviews, r.Backpressure, r.Commits,
+		r.VerifyQueueP50Ms, r.VerifyQueueP99Ms, r.PeakQueueDepth)
 }
 
 // loadSession is one scripted technician session prepared for the run.
@@ -191,6 +198,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.CmdsPerSec = float64(rep.Commands) / run.Seconds()
 	}
 	rep.P50Ms, rep.P99Ms = percentiles(latencies)
+	rep.VerifyQueueP50Ms, rep.VerifyQueueP99Ms = percentiles(svc.Pool().QueueWaits())
 	return rep, nil
 }
 

@@ -20,6 +20,12 @@ type Pool struct {
 	mu    sync.Mutex
 	peak  int
 	depth int
+	// waits records per-task queue wait (submit to dequeue), bounded so a
+	// long run cannot grow it without limit. Kept separate from the worker
+	// service time: conflating the two made the load generator's p99 read
+	// as "mediation got slow" when the truth was "the verify queue was
+	// deep" (queue wait is backlog, service time is enforcer cost).
+	waits []time.Duration
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -29,9 +35,14 @@ type Pool struct {
 }
 
 type poolTask struct {
-	fn   func()
-	done chan struct{}
+	fn        func()
+	done      chan struct{}
+	submitted time.Time
 }
+
+// maxWaitSamples bounds the retained queue-wait samples (~512 KiB at the
+// cap); later arrivals are still observed in the histogram.
+const maxWaitSamples = 1 << 16
 
 // NewPool starts workers goroutines consuming from a queue of the given
 // capacity. workers and queue are clamped to at least 1.
@@ -65,6 +76,7 @@ func (p *Pool) worker() {
 		case t := <-p.tasks:
 			p.addDepth(-1)
 			start := time.Now()
+			p.observeWait(start.Sub(t.submitted))
 			t.fn()
 			p.meter.Histogram("heimdall_service_verify_seconds", telemetry.LatencyBuckets).
 				ObserveDuration(time.Since(start))
@@ -86,11 +98,34 @@ func (p *Pool) addDepth(d int) {
 	p.depthGauge.Set(float64(depth))
 }
 
+func (p *Pool) observeWait(wait time.Duration) {
+	if wait < 0 {
+		wait = 0
+	}
+	p.meter.Histogram("heimdall_service_queue_wait_seconds", telemetry.LatencyBuckets).
+		ObserveDuration(wait)
+	p.mu.Lock()
+	if len(p.waits) < maxWaitSamples {
+		p.waits = append(p.waits, wait)
+	}
+	p.mu.Unlock()
+}
+
+// QueueWaits returns a copy of the recorded per-task queue waits (submit
+// to worker dequeue), capped at maxWaitSamples entries.
+func (p *Pool) QueueWaits() []time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]time.Duration, len(p.waits))
+	copy(out, p.waits)
+	return out
+}
+
 // Do submits fn and waits for a worker to finish it. It returns
 // ErrQueueFull immediately when the queue has no room, and ErrPoolClosed
 // after Close.
 func (p *Pool) Do(fn func()) error {
-	t := poolTask{fn: fn, done: make(chan struct{})}
+	t := poolTask{fn: fn, done: make(chan struct{}), submitted: time.Now()}
 	select {
 	case <-p.closed:
 		return ErrPoolClosed

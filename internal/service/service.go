@@ -36,6 +36,7 @@ import (
 	"heimdall/internal/core"
 	"heimdall/internal/enforcer"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/scenarios/generate"
 	"heimdall/internal/telemetry"
 	"heimdall/internal/ticket"
 	"heimdall/internal/twin"
@@ -61,8 +62,8 @@ type ScenarioFunc func() *scenarios.Scenario
 
 // Config tunes a Service.
 type Config struct {
-	// Catalog maps scenario names to constructors. Nil installs the three
-	// built-in scenarios (enterprise, university, provider).
+	// Catalog maps scenario names to constructors. Nil installs the
+	// built-in scenarios (enterprise, university, provider, fattree, wan).
 	Catalog map[string]ScenarioFunc
 	// Shards is the tenant-registry shard count (default 8).
 	Shards int
@@ -99,12 +100,21 @@ type Service struct {
 	seed    string
 }
 
-// BuiltinCatalog returns the three built-in evaluation scenarios.
+// BuiltinCatalog returns the built-in evaluation scenarios: the three
+// hand-built Table 1 networks plus two generated ones at their smallest
+// tier (a k=4 fat-tree datacenter and a 4-site WAN), so multi-tenant runs
+// can mix hand-built and generated topologies without custom wiring.
 func BuiltinCatalog() map[string]ScenarioFunc {
 	return map[string]ScenarioFunc{
 		"enterprise": scenarios.Enterprise,
 		"university": scenarios.University,
 		"provider":   scenarios.Provider,
+		"fattree": func() *scenarios.Scenario {
+			return generate.FatTree(generate.FatTreeParams{K: 4})
+		},
+		"wan": func() *scenarios.Scenario {
+			return generate.WAN(generate.WANParams{Sites: 4})
+		},
 	}
 }
 
