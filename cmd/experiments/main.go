@@ -43,6 +43,7 @@ func main() {
 		verifyCost = flag.Bool("verifycost", false, "measure the verification-cost anchor")
 		chaos      = flag.Int("chaos", 0, "run N seeded fault schedules against the commit pipeline")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "first seed of the -chaos sweep")
+		repChaos   = flag.Bool("replica-chaos", false, "run the replication chaos deck against the replicated enforcer")
 		all        = flag.Bool("all", false, "run every experiment")
 		budget     = flag.Int("budget", 0, "mutation budget per sample for fig8/fig9 (0 = full search)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the fig8/fig9 sweep (1 = serial; results identical)")
@@ -55,7 +56,7 @@ func main() {
 		scaleTiers = flag.Bool("scale-tiers", false, "measure the generated-topology scale tiers (also part of -bench-json)")
 	)
 	flag.Parse()
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *all || *benchJSON != "" || *svcLoad || *scaleTiers) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *verifyCost || *chaos > 0 || *repChaos || *all || *benchJSON != "" || *svcLoad || *scaleTiers) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -116,6 +117,15 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatChaos(s))
+		})
+	}
+	if *all || *repChaos {
+		timed("replica-chaos", func() {
+			s, err := experiments.ReplicaChaos()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatReplicaChaos(s))
 		})
 	}
 	if *all || *svcLoad {

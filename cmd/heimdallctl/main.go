@@ -9,6 +9,8 @@
 //	heimdallctl terminal  -scenario enterprise -device r1  # interactive modal shell
 //	heimdallctl rmm       -scenario enterprise            # serve the baseline RMM over TCP
 //	heimdallctl metrics   -scenario enterprise -issue vlan # workflow + Prometheus dump
+//	heimdallctl journal dump -in commit.journal            # inspect a journal export
+//	heimdallctl journal diff -a coord.journal -b rep.journal
 package main
 
 import (
@@ -46,6 +48,11 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "journal" {
+		// journal has its own sub-subcommands and flag shape.
+		runJournal(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	scenName := fs.String("scenario", "enterprise", "enterprise, university or provider")
 	device := fs.String("device", "", "restrict output to one device")
@@ -60,6 +67,7 @@ func main() {
 	pushRetries := fs.Int("push-retries", 0, "max attempts per production push (0 = pipeline default)")
 	pushBackoff := fs.Duration("push-backoff", 0, "base backoff between push retries (0 = pipeline default)")
 	faultSeed := fs.Int64("fault-seed", 0, "inject a seeded fault schedule into the production push (0 = off)")
+	exportJournal := fs.String("export-journal", "", "write the commit journal export to this file after a workflow")
 	idleTimeout := fs.Duration("idle-timeout", rmm.DefaultIdleTimeout, "idle connection timeout for the rmm command")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -100,7 +108,7 @@ func main() {
 	case "policies":
 		printPolicies(scen)
 	case "workflow":
-		runWorkflow(scen, *issueName, nil, pf)
+		runWorkflow(scen, *issueName, nil, pf, *exportJournal)
 	case "metrics":
 		runMetrics(scen, *issueName, pf)
 	case "exec":
@@ -116,6 +124,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm|metrics} [flags]")
+	fmt.Fprintln(os.Stderr, "       heimdallctl journal {dump|verify|diff} [flags]")
 	fmt.Fprintln(os.Stderr, "       heimdallctl {tenants|sessions|tickets|exec|workflow|metrics} -server http://host:port [flags]")
 	os.Exit(2)
 }
@@ -175,7 +184,7 @@ func printPolicies(scen *scenarios.Scenario) {
 	fmt.Println(string(data))
 }
 
-func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Meter, pf pushFlags) {
+func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Meter, pf pushFlags, exportJournal string) {
 	if issueName == "" {
 		log.Fatal("workflow needs -issue")
 	}
@@ -253,6 +262,17 @@ func runWorkflow(scen *scenarios.Scenario, issueName string, meter telemetry.Met
 	fmt.Printf("enforcer: %s (%d policies checked); ticket -> %s\n",
 		decision.Reason(), decision.Checked, sys.Tickets.Get(tk.ID).Status)
 	fmt.Printf("audit trail: %d entries\n", sys.Enforcer.Trail().Len())
+	if exportJournal != "" {
+		data, err := sys.Enforcer.Journal().Export()
+		if err != nil {
+			log.Fatalf("journal export: %v", err)
+		}
+		if err := os.WriteFile(exportJournal, data, 0o600); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("journal exported to %s (verify with: heimdallctl journal verify -in %s -key %x)\n",
+			exportJournal, exportJournal, sys.Enforcer.JournalKey())
+	}
 }
 
 // runMetrics runs the full mediated workflow for an issue (the scenario's
@@ -266,7 +286,7 @@ func runMetrics(scen *scenarios.Scenario, issueName string, pf pushFlags) {
 		issueName = scen.Issues[0].Name
 	}
 	reg := telemetry.NewRegistry()
-	runWorkflow(scen, issueName, reg, pf)
+	runWorkflow(scen, issueName, reg, pf, "")
 	fmt.Println("\n# telemetry after the workflow:")
 	fmt.Print(reg.Dump())
 }

@@ -34,6 +34,7 @@ package heimdall
 
 import (
 	"heimdall/internal/audit"
+	"heimdall/internal/authz"
 	"heimdall/internal/config"
 	"heimdall/internal/console"
 	"heimdall/internal/core"
@@ -45,6 +46,7 @@ import (
 	"heimdall/internal/monitor"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/privilege"
+	"heimdall/internal/replica"
 	"heimdall/internal/scenarios"
 	"heimdall/internal/service"
 	"heimdall/internal/spec"
@@ -333,6 +335,75 @@ var (
 	// ImportCommitJournal parses an exported commit journal and verifies
 	// it against the journal key before recovery may trust it.
 	ImportCommitJournal = journal.Import
+)
+
+// Replicated enforcer: N replicas each holding an independent HMAC-chained
+// journal copy, quorum commits and Byzantine cross-audit (see
+// docs/ROBUSTNESS.md, "The replicated enforcer").
+type (
+	// ReplicaGroup is a quorum of enforcer replicas; wire it in with
+	// Enforcer.SetTarget to replicate commits.
+	ReplicaGroup = replica.Group
+	// ReplicaConfig assembles a ReplicaGroup.
+	ReplicaConfig = replica.Config
+	// EnforcerReplica is one member of a ReplicaGroup.
+	EnforcerReplica = replica.Replica
+	// ReplicaState is a replica's lifecycle state (live, lagging,
+	// quarantined).
+	ReplicaState = replica.State
+	// ReplicaAuditReport is the outcome of one Byzantine cross-audit.
+	ReplicaAuditReport = replica.AuditReport
+	// QuorumError is the permanent (non-retryable) error a commit gets
+	// when the live replica count falls below quorum.
+	QuorumError = replica.QuorumError
+	// JournalDiff classifies how two journal chains relate
+	// (equal/prefix/extends/diverged) with the first disagreeing index.
+	JournalDiff = journal.DiffResult
+	// JournalHead summarises a chain tip (length + head hash).
+	JournalHead = journal.Head
+	// JournalApproval is one multi-party authorization signature embedded
+	// in a journal intent record.
+	JournalApproval = journal.Approval
+)
+
+var (
+	// NewReplicaGroup builds a replica group mirroring the coordinator's
+	// journal onto fresh copies of the production network.
+	NewReplicaGroup = replica.NewGroup
+	// DiffJournals compares two journal chains record by record.
+	DiffJournals = journal.Diff
+)
+
+// M-of-N multi-party authorization: high-risk change sets need M approval
+// signatures before the enforcer (and every replica) will push them.
+type (
+	// AuthzRisk classifies a change set's blast radius.
+	AuthzRisk = authz.Risk
+	// AuthzPolicy holds the registered approvers and the M-of-N rule per
+	// risk class.
+	AuthzPolicy = authz.Policy
+	// AuthzSigner produces HMAC approval signatures for one approver.
+	AuthzSigner = authz.Signer
+)
+
+var (
+	// ClassifyRisk assigns a change set its risk class.
+	ClassifyRisk = authz.Classify
+	// NewAuthzPolicy builds an M-of-N approval policy.
+	NewAuthzPolicy = authz.NewPolicy
+	// AuthzDigest is the canonical ticket+changes digest approvals sign.
+	AuthzDigest = authz.Digest
+)
+
+// ConflictPolicy selects how the enforcer mediates racing tickets whose
+// change scopes overlap (Enforcer.Conflict): off, serialize, or reject.
+type ConflictPolicy = enforcer.ConflictPolicy
+
+// Conflict mediation policies.
+const (
+	MediateOff       = enforcer.MediateOff
+	MediateSerialize = enforcer.MediateSerialize
+	MediateReject    = enforcer.MediateReject
 )
 
 // ImportAuditTrail parses an exported audit trail and verifies it against

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"heimdall/internal/audit"
+	"heimdall/internal/authz"
 	"heimdall/internal/config"
 	"heimdall/internal/dataplane"
 	"heimdall/internal/enclave"
@@ -67,6 +68,18 @@ type Enforcer struct {
 	// defaults (3 attempts, 50ms base backoff doubling to 1s, 5s per-op
 	// budget, seeded jitter).
 	Retry RetryPolicy
+	// Auth, when set, enforces M-of-N multi-party authorization: commits
+	// whose scheduled change set classifies high-risk (authz.Classify)
+	// are refused unless CommitApproved carries approvals the policy
+	// verifies. Low-risk changes pass without approvals.
+	Auth *authz.Policy
+	// Conflict selects how commits whose scopes overlap mediate (default
+	// MediateOff). See mediate.go.
+	Conflict ConflictPolicy
+	// scopeMu guards reservations; scopeCond wakes serialized waiters.
+	scopeMu      sync.Mutex
+	scopeCond    *sync.Cond
+	reservations map[string]map[string]bool
 }
 
 // New creates an enforcer hosted in the given enclave, guarding the given
@@ -128,9 +141,13 @@ type Decision struct {
 	Deltas []verify.Delta
 }
 
-// Reason summarises why a decision rejected the change set.
+// Reason summarises why a decision rejected the change set. It is safe on
+// a nil decision (commit refused before review — quarantine, authorization,
+// conflict mediation).
 func (d *Decision) Reason() string {
 	switch {
+	case d == nil:
+		return "commit refused"
 	case d.Accepted:
 		return "accepted"
 	case len(d.Unauthorized) > 0:
@@ -337,7 +354,31 @@ func boolToInt(b bool) int {
 // network. On any unrecoverable failure every touched device is restored
 // (rollback is retried too); if rollback itself fails the enforcer
 // quarantines rather than leave a silent partial state.
+//
+// Commit carries no approvals: with an Auth policy set, high-risk change
+// sets are refused — use CommitApproved.
 func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) (*Decision, error) {
+	return e.CommitApproved(prod, changes, spec, nil)
+}
+
+// CommitApproved is Commit with M-of-N approvals attached. When the
+// enforcer has an Auth policy and the scheduled change set classifies
+// high-risk, the approvals must verify (M distinct valid signatures over
+// the ticket + scheduled change set, both parties represented if the
+// policy demands it) before the intent is journaled; the approvals are
+// recorded in the intent record, so the journal itself proves who
+// authorized the push. When the push target replicates
+// (ReplicationHooks), the journaled intent is proposed to the replica
+// group after the write-ahead record and before the first device push;
+// a group that cannot reach quorum aborts the commit with a journaled
+// rollback on every copy.
+func (e *Enforcer) CommitApproved(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec, approvals []journal.Approval) (*Decision, error) {
+	release, err := e.reserveForCommit(prod, changes, spec)
+	if err != nil {
+		e.countCommit(false)
+		return nil, err
+	}
+	defer release()
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
 	if e.quarantined {
@@ -350,8 +391,23 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 		return d, fmt.Errorf("enforcer: change set rejected: %s", d.Reason())
 	}
 	ordered := Schedule(changes)
+	// M-of-N gate: high-risk change sets need verified approvals over the
+	// scheduled set (what will actually be pushed, in push order) before
+	// the write-ahead intent — an unauthorized high-risk push never opens.
+	if e.Auth != nil && authz.Classify(ordered) == authz.HighRisk {
+		if aerr := e.Auth.Verify(spec.Ticket, ordered, approvals); aerr != nil {
+			e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
+				fmt.Sprintf("commit refused: high-risk change set without authorization: %v", aerr), false)
+			e.meter.Counter("heimdall_enforcer_authz_refusals_total").Inc()
+			e.countCommit(false)
+			return d, fmt.Errorf("enforcer: high-risk change set refused: %w", aerr)
+		}
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
+			fmt.Sprintf("authz: high-risk change set authorized by %d approvals (M=%d)", len(approvals), e.Auth.M), true)
+	}
 	backup := prod.Clone()
 	tgt := e.pushTarget(prod)
+	hooks, _ := tgt.(ReplicationHooks)
 	policy := e.Retry.withDefaults()
 	e.commitSeq++
 	cid := fmt.Sprintf("%s#%d", spec.Ticket, e.commitSeq)
@@ -362,7 +418,19 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 	devices := touchedDevices(ordered)
 
 	// Write-ahead: the journal knows the full plan before device one.
-	e.journal.Intent(cid, spec.Ticket, spec.Technician, ordered, preState(backup, ordered))
+	intent := e.journal.Intent(cid, spec.Ticket, spec.Technician, ordered, preState(backup, ordered), approvals...)
+	if hooks != nil {
+		if herr := hooks.BeginCommit(intent); herr != nil {
+			// Quorum not reached: abort before any device push. Nothing
+			// to restore; the rollback record closes the commit on the
+			// coordinator and on every replica that accepted the intent.
+			mirrorTo(tgt, e.journal.RolledBack(cid, nil, herr.Error()))
+			e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, "ROLLBACK: "+herr.Error(), false)
+			e.meter.Counter("heimdall_enforcer_rollbacks_total").Inc()
+			e.countCommit(false)
+			return d, fmt.Errorf("enforcer: commit aborted: %w", herr)
+		}
+	}
 	for i, c := range ordered {
 		opStart := time.Now()
 		err := e.pushOp(policy, rng, "apply", func() error { return tgt.Apply(c) })
@@ -377,7 +445,7 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 			}
 			return d, fmt.Errorf("enforcer: applying %s: %w (rolled back)", c, err)
 		}
-		e.journal.Applied(cid, i, c.String())
+		mirrorTo(tgt, e.journal.Applied(cid, i, c.String()))
 		e.trail.Append(spec.Ticket, spec.Technician, audit.KindChange, c.String(), true)
 		e.meter.Counter("heimdall_enforcer_changes_applied_total").Inc()
 	}
@@ -393,7 +461,7 @@ func (e *Enforcer) Commit(prod *netmodel.Network, changes []config.Change, spec 
 		}
 		return d, fmt.Errorf("enforcer: post-apply verification failed (rolled back)")
 	}
-	e.journal.Committed(cid, fmt.Sprintf("%d changes", len(ordered)))
+	mirrorTo(tgt, e.journal.Committed(cid, fmt.Sprintf("%d changes", len(ordered))))
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindSession,
 		fmt.Sprintf("committed %d changes to production", len(ordered)), true)
 	e.countCommit(true)

@@ -78,6 +78,15 @@ type BenchReport struct {
 	ServiceVerifyQueueP99Ms float64 `json:"service_verify_queue_p99_ms"`
 	ServicePeakQueueDepth   int     `json:"service_peak_queue_depth"`
 
+	// Replicated-enforcer headline: wall-clock per quorum commit (intent
+	// proposal, three replica votes, change fan-out, terminal mirror) on a
+	// fault-free three-replica group, and the Byzantine detections across
+	// the full replication chaos deck — which must equal its lying
+	// schedules, or the sweep itself would have failed.
+	QuorumCommitP50Ms      float64 `json:"quorum_commit_p50_ms"`
+	QuorumCommitP99Ms      float64 `json:"quorum_commit_p99_ms"`
+	ByzantineDetectedTotal int     `json:"byzantine_detected_total"`
+
 	// ScaleTiers are the generated-topology tiers (fat-tree datacenters,
 	// ISP backbone, multi-site WAN): structural counts plus the same
 	// full-vs-derive timings at each scale. The derive mutation per tier
@@ -248,6 +257,16 @@ func RunBench() BenchReport {
 		r.ServiceVerifyQueueP50Ms = rep.VerifyQueueP50Ms
 		r.ServiceVerifyQueueP99Ms = rep.VerifyQueueP99Ms
 		r.ServicePeakQueueDepth = rep.PeakQueueDepth
+	}
+
+	// Replicated-enforcer quorum commits and the chaos deck's Byzantine
+	// detections.
+	if p50, p99, err := QuorumCommitBench(100); err == nil {
+		r.QuorumCommitP50Ms = p50
+		r.QuorumCommitP99Ms = p99
+	}
+	if s, err := ReplicaChaos(); err == nil {
+		r.ByzantineDetectedTotal = s.ByzantineDetected
 	}
 
 	return r

@@ -94,6 +94,14 @@ type Rule struct {
 	// Empty or "*" matches every op.
 	Op string
 
+	// Partition, when both endpoints are named, matches every op whose
+	// scope is the canonical link scope between them (LinkScope), in
+	// either direction — a deterministic network split between two
+	// replicas or between the coordinator and a replica. A partition rule
+	// ignores Scope; combine it with Outage for a split that never heals
+	// or FailFirst for one that does.
+	Partition [2]string
+
 	// FailNth fails exactly the Nth matching call (1-based), modelling a
 	// one-shot glitch.
 	FailNth int
@@ -111,8 +119,32 @@ type Rule struct {
 
 // matches reports whether the rule covers the given scope and op.
 func (r *Rule) matches(scope, op string) bool {
-	return (r.Scope == "" || r.Scope == "*" || r.Scope == scope) &&
-		(r.Op == "" || r.Op == "*" || r.Op == op)
+	if r.Op != "" && r.Op != "*" && r.Op != op {
+		return false
+	}
+	if r.Partition[0] != "" && r.Partition[1] != "" {
+		return scope == LinkScope(r.Partition[0], r.Partition[1])
+	}
+	return r.Scope == "" || r.Scope == "*" || r.Scope == scope
+}
+
+// LinkScope canonicalises the scope name of the link between two
+// endpoints: the same string regardless of direction, so a partition rule
+// drops a→b and b→a ops alike. Layers that model inter-replica traffic
+// visit the injector with this scope.
+func LinkScope(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "~" + b
+}
+
+// PartitionRule drops every op between the two named endpoints until the
+// plan is replaced — the deterministic network-split primitive the
+// replicated-enforcer schedule sweeps use. Partition faults are classified
+// transient: splits heal, and a coordinator should keep trying.
+func PartitionRule(a, b string) Rule {
+	return Rule{Partition: [2]string{a, b}, Op: "*", Outage: true, Class: Transient}
 }
 
 // Plan is a complete fault schedule: an ordered rule list. Rules are

@@ -15,6 +15,7 @@
 package journal
 
 import (
+	"bytes"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/hex"
@@ -54,10 +55,25 @@ func closes(k Kind) bool {
 	return k == KindCommitted || k == KindRolledBack
 }
 
+// Approval is one signer's HMAC endorsement of a commit's scheduled
+// change set. High-risk changes (see internal/authz) require M of them,
+// from both the customer and the MSP, recorded in the intent record before
+// the push phase may start — so the journal itself proves who authorized
+// what.
+type Approval struct {
+	// Signer names the approving party's key.
+	Signer string `json:"signer"`
+	// Role is the signer's side of the engagement ("customer" or "msp").
+	Role string `json:"role,omitempty"`
+	// MAC is the hex HMAC-SHA256 of the authorization digest (ticket +
+	// canonical change set) under the signer's key.
+	MAC string `json:"mac"`
+}
+
 // Record is one link of the journal chain. Payload fields are set per
-// kind: Changes and PreState only on intent records, ChangeIndex only on
-// applied records (-1 elsewhere), Restored/Unrestored only on rollback and
-// quarantine records.
+// kind: Changes, PreState and Approvals only on intent records, ChangeIndex
+// only on applied records (-1 elsewhere), Restored/Unrestored only on
+// rollback and quarantine records.
 type Record struct {
 	Index      int       `json:"index"`
 	Time       time.Time `json:"time"`
@@ -68,6 +84,7 @@ type Record struct {
 
 	Changes     []config.Change   `json:"changes,omitempty"`
 	PreState    map[string]string `json:"preState,omitempty"`
+	Approvals   []Approval        `json:"approvals,omitempty"`
 	ChangeIndex int               `json:"changeIndex"`
 	Detail      string            `json:"detail,omitempty"`
 	Restored    []string          `json:"restored,omitempty"`
@@ -148,14 +165,16 @@ func (j *Journal) append(r Record) Record {
 	return r
 }
 
-// Intent opens a commit: the scheduled change set and the canonical
-// pre-change configuration of every device the set touches. It must be
+// Intent opens a commit: the scheduled change set, the canonical
+// pre-change configuration of every device the set touches, and — for
+// high-risk changes — the M-of-N approvals that authorized it. It must be
 // appended before the first change is pushed — that write-ahead ordering
-// is what makes crash recovery possible.
-func (j *Journal) Intent(commit, ticket, technician string, changes []config.Change, preState map[string]string) Record {
+// is what makes crash recovery possible. With no approvals the record
+// serialises byte-identically to the pre-authorization format.
+func (j *Journal) Intent(commit, ticket, technician string, changes []config.Change, preState map[string]string, approvals ...Approval) Record {
 	return j.append(Record{
 		Kind: KindIntent, Commit: commit, Ticket: ticket, Technician: technician,
-		Changes: changes, PreState: preState, ChangeIndex: -1,
+		Changes: changes, PreState: preState, Approvals: approvals, ChangeIndex: -1,
 	})
 }
 
@@ -191,6 +210,41 @@ func (j *Journal) Quarantined(commit string, restored, unrestored []string, why 
 // Recovered records a crash-recovery pass and its action.
 func (j *Journal) Recovered(commit, action string) Record {
 	return j.append(Record{Kind: KindRecovered, Commit: commit, ChangeIndex: -1, Detail: action})
+}
+
+// AppendVerbatim appends an already-chained record without re-stamping
+// it — the replica-mirroring primitive: an enforcer replica copies the
+// coordinator's records byte-for-byte, so honest replica journals are
+// bit-identical by construction. The record must authenticate under the
+// journal's key (content hash and HMAC intact) and extend the current head
+// exactly (contiguous index, matching prev-hash); any other record is
+// refused, which is how a replica notices it has lagged or diverged.
+func (j *Journal) AppendVerbatim(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r.Index != len(j.records) {
+		return fmt.Errorf("journal: verbatim record index %d, head is %d", r.Index, len(j.records)-1)
+	}
+	prev := ""
+	if len(j.records) > 0 {
+		prev = j.records[len(j.records)-1].Hash
+	}
+	if r.PrevHash != prev {
+		return fmt.Errorf("journal: verbatim record %d does not extend this chain", r.Index)
+	}
+	sum := sha256.Sum256(r.content())
+	if hex.EncodeToString(sum[:]) != r.Hash {
+		return fmt.Errorf("journal: verbatim record %d content hash mismatch (tampered)", r.Index)
+	}
+	mac := hmac.New(sha256.New, j.key)
+	mac.Write(sum[:])
+	got, err := hex.DecodeString(r.MAC)
+	if err != nil || !hmac.Equal(mac.Sum(nil), got) {
+		return fmt.Errorf("journal: verbatim record %d MAC mismatch (forged)", r.Index)
+	}
+	j.records = append(j.records, r)
+	j.meter.Counter("heimdall_journal_records_total", telemetry.L("kind", string(r.Kind))).Inc()
+	return nil
 }
 
 // Records returns a copy of the journal.
@@ -246,6 +300,13 @@ func (j *Journal) Verify() error {
 	return verifyRecords(j.records, j.key)
 }
 
+// VerifyChain checks a detached record slice the way Verify checks the
+// journal's own chain — the cross-audit entry point for chains received
+// from another replica.
+func VerifyChain(records []Record, key []byte) error {
+	return verifyRecords(records, key)
+}
+
 func verifyRecords(records []Record, key []byte) error {
 	prev := ""
 	for i := range records {
@@ -263,7 +324,10 @@ func verifyRecords(records []Record, key []byte) error {
 		mac := hmac.New(sha256.New, key)
 		mac.Write(sum[:])
 		got, err := hex.DecodeString(r.MAC)
-		if err != nil || !hmac.Equal(mac.Sum(nil), got) {
+		// hex.DecodeString accepts uppercase; require the canonical lowercase
+		// encoding too, so no byte of an exported MAC can be altered without
+		// failing verification.
+		if err != nil || r.MAC != hex.EncodeToString(got) || !hmac.Equal(mac.Sum(nil), got) {
 			return fmt.Errorf("journal: record %d MAC mismatch (forged)", i)
 		}
 		prev = r.Hash
@@ -279,14 +343,64 @@ func (j *Journal) Export() ([]byte, error) {
 	return json.MarshalIndent(j.records, "", "  ")
 }
 
+// Head is a compact claim about a chain's tip — what replicas exchange
+// during cross-audit. Index is -1 for an empty chain.
+type Head struct {
+	Index int    `json:"index"`
+	Hash  string `json:"hash"`
+}
+
+// Head returns the journal's current chain tip.
+func (j *Journal) Head() Head {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return HeadOf(j.records)
+}
+
+// HeadOf returns the chain tip of a record slice.
+func HeadOf(records []Record) Head {
+	if len(records) == 0 {
+		return Head{Index: -1}
+	}
+	last := records[len(records)-1]
+	return Head{Index: last.Index, Hash: last.Hash}
+}
+
+// Rechain recomputes every hash, prev-hash link and MAC of a record slice
+// in place — exactly the forgery a compromised replica that holds the
+// journal key can produce. Verify cannot catch a rechained journal (the
+// insider has the key); majority cross-audit between replicas can, which
+// is why Byzantine drills need this helper to simulate the attack.
+func Rechain(records []Record, key []byte) {
+	prev := ""
+	for i := range records {
+		r := &records[i]
+		r.Index = i
+		r.PrevHash = prev
+		sum := sha256.Sum256(r.content())
+		r.Hash = hex.EncodeToString(sum[:])
+		mac := hmac.New(sha256.New, key)
+		mac.Write(sum[:])
+		r.MAC = hex.EncodeToString(mac.Sum(nil))
+		prev = r.Hash
+	}
+}
+
 // Import parses an exported journal and verifies it against the key
 // before returning it. Tampered journals are rejected; a journal truncated
 // at a record boundary — the shape a crash leaves — verifies, because
-// every prefix of a valid chain is a valid chain.
+// every prefix of a valid chain is a valid chain. Parsing is strict
+// (unknown fields and trailing data are errors): a field name altered in
+// transit must not silently degrade to the field's zero value.
 func Import(key, data []byte) (*Journal, error) {
 	var records []Record
-	if err := json.Unmarshal(data, &records); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&records); err != nil {
 		return nil, fmt.Errorf("journal: parsing export: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("journal: trailing data after export")
 	}
 	if err := verifyRecords(records, key); err != nil {
 		return nil, err

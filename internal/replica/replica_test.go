@@ -1,0 +1,388 @@
+package replica
+
+import (
+	"bytes"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"heimdall/internal/authz"
+	"heimdall/internal/config"
+	"heimdall/internal/dataplane"
+	"heimdall/internal/enclave"
+	"heimdall/internal/enforcer"
+	"heimdall/internal/faultinject"
+	"heimdall/internal/journal"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/spec"
+	"heimdall/internal/telemetry"
+)
+
+// prod: h1 - r1 - h2, plus sensitive h3 behind the same router guarded by
+// an isolation-enforcing ACL (same fixture as the enforcer tests).
+func prod() *netmodel.Network {
+	n := netmodel.NewNetwork("prod")
+	r1 := n.AddDevice("r1", netmodel.Router)
+	for i, sub := range []string{"10.1.0", "10.2.0", "10.3.0"} {
+		name := []string{"h1", "h2", "h3"}[i]
+		itf := []string{"Gi0/0", "Gi0/1", "Gi0/2"}[i]
+		h := n.AddDevice(name, netmodel.Host)
+		n.MustConnect(name, "eth0", "r1", itf)
+		h.Interface("eth0").Addr = netip.MustParsePrefix(sub + ".10/24")
+		h.DefaultGateway = netip.MustParseAddr(sub + ".1")
+		r1.Interface(itf).Addr = netip.MustParsePrefix(sub + ".1/24")
+	}
+	guard := r1.ACL("GUARD", true)
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 10, Action: netmodel.Deny, Proto: netmodel.AnyProto,
+		Dst: netip.MustParsePrefix("10.3.0.0/24")})
+	guard.InsertEntry(netmodel.ACLEntry{Seq: 20, Action: netmodel.Permit})
+	r1.Interface("Gi0/0").ACLIn = "GUARD"
+	r1.Interface("Gi0/1").ACLIn = "GUARD"
+	return n
+}
+
+func newEnforcer(n *netmodel.Network) *enforcer.Enforcer {
+	platform := enclave.NewPlatformFromSeed("test")
+	encl := platform.Load("heimdall-enforcer-v1")
+	policies := spec.Mine(dataplane.Compute(n), n, spec.Options{Sensitive: map[string]bool{"h3": true}})
+	return enforcer.New(encl, policies)
+}
+
+func aclSpec() *privilege.Spec {
+	return &privilege.Spec{Ticket: "T1", Technician: "alice", Rules: []privilege.Rule{
+		{Effect: privilege.AllowEffect, Action: "config.acl.*", Resource: "device:r1"},
+	}}
+}
+
+func benignChange(seq, port int) config.Change {
+	return config.Change{
+		Device: "r1", Op: config.OpAddACLEntry, ACLName: "GUARD",
+		Entry: &netmodel.ACLEntry{Seq: seq, Action: netmodel.Permit, Proto: netmodel.TCP,
+			Dst: netip.MustParsePrefix("10.2.0.10/32"), DstPort: uint16(port)},
+	}
+}
+
+// fingerprint renders every device's canonical config, concatenated.
+func fingerprint(n *netmodel.Network) string {
+	names := make([]string, 0, len(n.Devices))
+	for name := range n.Devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for _, name := range names {
+		buf.WriteString(config.Print(n.Devices[name]))
+	}
+	return buf.String()
+}
+
+// rig builds enforcer + 3-replica group wired as its push target.
+func rig(t *testing.T, inj *faultinject.Injector, auth *authz.Policy) (*netmodel.Network, *enforcer.Enforcer, *Group, *telemetry.Registry) {
+	t.Helper()
+	n := prod()
+	e := newEnforcer(n)
+	reg := telemetry.NewRegistry()
+	e.SetMeter(reg)
+	e.Retry = enforcer.RetryPolicy{Sleep: func(time.Duration) {}}
+	e.Journal().SetClock(stepClock())
+	g, err := NewGroup(n, e.Journal(), Config{
+		Replicas: []string{"rep-a", "rep-b", "rep-c"},
+		Key:      e.JournalKey(),
+		Auth:     auth,
+		Injector: inj,
+		Meter:    reg,
+	})
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	e.SetTarget(g)
+	return n, e, g, reg
+}
+
+func mustExportJ(t *testing.T, j *journal.Journal) []byte {
+	t.Helper()
+	b, err := j.Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return b
+}
+
+func TestQuorumCommitMirrorsBitIdentically(t *testing.T) {
+	n, e, g, _ := rig(t, nil, nil)
+	if _, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	coord := mustExportJ(t, e.Journal())
+	want := fingerprint(n)
+	for _, r := range g.Replicas() {
+		if r.State() != Live {
+			t.Fatalf("replica %s not live after clean commit: %s", r.Name, r.State())
+		}
+		if got := mustExportJ(t, r.Journal()); !bytes.Equal(got, coord) {
+			t.Fatalf("replica %s journal differs from coordinator", r.Name)
+		}
+		if fingerprint(r.Net()) != want {
+			t.Fatalf("replica %s network differs from production", r.Name)
+		}
+	}
+	// The replicated happy path is byte-identical to the single-node
+	// pipeline: a plain enforcer (no group) committing the same change
+	// under the same clock produces the exact same journal bytes.
+	solo := prod()
+	se := newEnforcer(solo)
+	se.Journal().SetClock(stepClock())
+	se.Retry = enforcer.RetryPolicy{Sleep: func(time.Duration) {}}
+	if _, err := se.Commit(solo, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+		t.Fatalf("solo commit: %v", err)
+	}
+	if !bytes.Equal(mustExportJ(t, se.Journal()), coord) {
+		t.Fatal("replicated happy-path journal differs from single-node pipeline")
+	}
+	if fingerprint(solo) != want {
+		t.Fatal("replicated happy-path production differs from single-node pipeline")
+	}
+}
+
+// stepClock is a deterministic journal clock: epoch + n seconds per append.
+func stepClock() func() time.Time {
+	n := 0
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestPartitionedReplicaDropsOutAndHeals(t *testing.T) {
+	inj := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+		faultinject.PartitionRule("coord", "rep-b"),
+	}})
+	n, e, g, reg := rig(t, inj, nil)
+	if _, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+		t.Fatalf("commit with one partitioned replica: %v", err)
+	}
+	if got := g.LiveNames(); len(got) != 2 {
+		t.Fatalf("live replicas = %v, want 2", got)
+	}
+	if g.Replica("rep-b").State() != Lagging {
+		t.Fatalf("rep-b state = %s, want lagging", g.Replica("rep-b").State())
+	}
+	// Heal the partition, audit: the laggard is brought back by state
+	// transfer and ends bit-identical.
+	g.SetInjector(nil)
+	rep := g.CrossAudit()
+	if !rep.Conclusive {
+		t.Fatal("audit inconclusive with healed partition")
+	}
+	if len(rep.NewlyQuarantined) != 0 {
+		t.Fatalf("honest laggard quarantined: %v", rep.NewlyQuarantined)
+	}
+	if len(rep.Healed) != 1 || rep.Healed[0] != "rep-b" {
+		t.Fatalf("healed = %v, want [rep-b]", rep.Healed)
+	}
+	coord := mustExportJ(t, e.Journal())
+	if got := mustExportJ(t, g.Replica("rep-b").Journal()); !bytes.Equal(got, coord) {
+		t.Fatal("healed replica journal differs from coordinator")
+	}
+	if fingerprint(g.Replica("rep-b").Net()) != fingerprint(n) {
+		t.Fatal("healed replica network differs from production")
+	}
+	if v := reg.CounterValue("heimdall_replica_heals_total", telemetry.L("replica", "rep-b")); v != 1 {
+		t.Fatalf("heals_total = %v, want 1", v)
+	}
+}
+
+func TestQuorumLossAbortsPrePush(t *testing.T) {
+	inj := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+		faultinject.PartitionRule("coord", "rep-a"),
+		faultinject.PartitionRule("coord", "rep-b"),
+	}})
+	n, e, g, reg := rig(t, inj, nil)
+	before := fingerprint(n)
+	_, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec())
+	if err == nil {
+		t.Fatal("commit with quorum lost should fail")
+	}
+	if before != fingerprint(n) {
+		t.Fatal("aborted commit mutated production")
+	}
+	// Coordinator chain: intent + rolled-back, no applied records.
+	recs := e.Journal().Records()
+	if len(recs) != 2 || recs[0].Kind != journal.KindIntent || recs[1].Kind != journal.KindRolledBack {
+		t.Fatalf("coordinator chain = %+v, want intent+rolled-back", kinds(recs))
+	}
+	// The surviving replica holds the identical aborted chain.
+	coord := mustExportJ(t, e.Journal())
+	if got := mustExportJ(t, g.Replica("rep-c").Journal()); !bytes.Equal(got, coord) {
+		t.Fatal("surviving replica chain differs after abort")
+	}
+	if v := reg.CounterValue("heimdall_replica_quorum_aborts_total"); v != 1 {
+		t.Fatalf("quorum_aborts_total = %v, want 1", v)
+	}
+}
+
+func TestQuorumLossMidPushRollsBackEverywhere(t *testing.T) {
+	// Replicas reachable at propose, lost at the apply message.
+	inj := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+		{Partition: [2]string{"coord", "rep-a"}, Op: "apply", Outage: true},
+		{Partition: [2]string{"coord", "rep-b"}, Op: "apply", Outage: true},
+	}})
+	n, e, g, _ := rig(t, inj, nil)
+	before := fingerprint(n)
+	_, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec())
+	if err == nil {
+		t.Fatal("commit losing quorum mid-push should fail")
+	}
+	if before != fingerprint(n) {
+		t.Fatal("production not rolled back")
+	}
+	// Survivor mirrors the full aborted chain (intent, applied, rolled-back).
+	coord := mustExportJ(t, e.Journal())
+	if got := mustExportJ(t, g.Replica("rep-c").Journal()); !bytes.Equal(got, coord) {
+		t.Fatal("surviving replica chain differs after mid-push rollback")
+	}
+	if fingerprint(g.Replica("rep-c").Net()) != before {
+		t.Fatal("surviving replica network not rolled back")
+	}
+	// Laggards heal back to the same state.
+	g.SetInjector(nil)
+	rep := g.CrossAudit()
+	if len(rep.Healed) != 2 {
+		t.Fatalf("healed = %v, want 2 replicas", rep.Healed)
+	}
+	for _, name := range []string{"rep-a", "rep-b"} {
+		if got := mustExportJ(t, g.Replica(name).Journal()); !bytes.Equal(got, coord) {
+			t.Fatalf("healed %s chain differs", name)
+		}
+	}
+}
+
+func kinds(recs []journal.Record) []journal.Kind {
+	out := make([]journal.Kind, len(recs))
+	for i, r := range recs {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func TestByzantineLiesDetectedAndQuarantined(t *testing.T) {
+	cases := []struct {
+		lie     Lie
+		verdict string
+	}{
+		{LieForge, VerdictForged},
+		{LieTruncate, VerdictTruncated},
+		{LieEquivocate, VerdictEquivocated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.lie.String(), func(t *testing.T) {
+			n, e, g, reg := rig(t, nil, nil)
+			if _, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec()); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			g.MakeByzantine("rep-b", tc.lie)
+			rep := g.CrossAudit()
+			if !rep.Conclusive {
+				t.Fatal("audit inconclusive")
+			}
+			if got := rep.Verdicts["rep-b"]; got != tc.verdict {
+				t.Fatalf("verdict for liar = %q, want %q", got, tc.verdict)
+			}
+			if g.Replica("rep-b").State() != Quarantined {
+				t.Fatal("liar not quarantined")
+			}
+			for _, honest := range []string{"rep-a", "rep-c"} {
+				if got := rep.Verdicts[honest]; got != VerdictOK {
+					t.Fatalf("honest %s verdict = %q, want ok (no false positive)", honest, got)
+				}
+			}
+			if v := reg.CounterValue("heimdall_replica_byzantine_detected_total",
+				telemetry.L("verdict", tc.verdict)); v != 1 {
+				t.Fatalf("byzantine_detected_total = %v, want 1", v)
+			}
+			// Audits are idempotent: a second round adds no new verdicts.
+			rep2 := g.CrossAudit()
+			if len(rep2.NewlyQuarantined) != 0 {
+				t.Fatalf("second audit re-quarantined: %v", rep2.NewlyQuarantined)
+			}
+		})
+	}
+}
+
+func TestNoFalsePositivesOnHonestGroup(t *testing.T) {
+	n, e, g, reg := rig(t, nil, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Commit(n, []config.Change{benignChange(15+i, 1000+i)}, aclSpec()); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	rep := g.CrossAudit()
+	if !rep.Conclusive || len(rep.NewlyQuarantined) != 0 || len(rep.Healed) != 0 {
+		t.Fatalf("honest audit not clean: %+v", rep)
+	}
+	if v := reg.CounterValue("heimdall_replica_byzantine_detected_total"); v != 0 {
+		t.Fatalf("byzantine_detected_total = %v on honest group", v)
+	}
+}
+
+func TestReplicasVetoUnauthorizedHighRiskCommit(t *testing.T) {
+	// The compromised-coordinator drill: the enforcer skips its own M-of-N
+	// check (Auth unset), but every replica re-verifies approvals before
+	// ACKing — the unauthorized high-risk push cannot reach quorum.
+	auth := authz.NewPolicy(2, true)
+	auth.Register("cust", authz.RoleCustomer, []byte("ck"))
+	auth.Register("msp", authz.RoleMSP, []byte("mk"))
+	n, e, g, _ := rig(t, nil, auth)
+	before := fingerprint(n)
+	_, err := e.Commit(n, []config.Change{benignChange(15, 443)}, aclSpec())
+	if err == nil {
+		t.Fatal("unauthorized high-risk commit reached quorum")
+	}
+	if before != fingerprint(n) {
+		t.Fatal("vetoed commit mutated production")
+	}
+	// All replicas NACKed: chain shows the aborted attempt only on the
+	// coordinator (replicas refused the intent and sit out until healed).
+	for _, r := range g.Replicas() {
+		if r.State() != Lagging {
+			t.Fatalf("replica %s = %s, want lagging after NACK", r.Name, r.State())
+		}
+	}
+
+	// With approvals from both parties, the same change commits and the
+	// approvals are recorded in every intent copy.
+	g.SetInjector(nil)
+	if rep := g.CrossAudit(); len(rep.Healed) != 3 {
+		t.Fatalf("healed = %v, want all 3", rep.Healed)
+	}
+	e.Auth = auth
+	changes := []config.Change{benignChange(15, 443)}
+	ordered := enforcer.Schedule(changes)
+	approvals := []journal.Approval{
+		authz.NewSigner("cust", authz.RoleCustomer, []byte("ck")).Approve("T1", ordered),
+		authz.NewSigner("msp", authz.RoleMSP, []byte("mk")).Approve("T1", ordered),
+	}
+	if _, err := e.CommitApproved(n, changes, aclSpec(), approvals); err != nil {
+		t.Fatalf("approved commit: %v", err)
+	}
+	coord := mustExportJ(t, e.Journal())
+	for _, r := range g.Replicas() {
+		if got := mustExportJ(t, r.Journal()); !bytes.Equal(got, coord) {
+			t.Fatalf("replica %s journal differs after approved commit", r.Name)
+		}
+	}
+	// The intent record carries the approvals.
+	recs := e.Journal().Records()
+	var intent *journal.Record
+	for i := range recs {
+		if recs[i].Kind == journal.KindIntent && recs[i].Commit == "T1#2" {
+			intent = &recs[i]
+		}
+	}
+	if intent == nil || len(intent.Approvals) != 2 {
+		t.Fatalf("intent approvals not journaled: %+v", intent)
+	}
+}
