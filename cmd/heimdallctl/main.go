@@ -89,13 +89,15 @@ func main() {
 			remoteWorkflow(c, *tenant, *scenName, *issueName, *technician)
 		case "metrics":
 			remoteMetrics(c)
+		case "pool":
+			remotePool(c)
 		default:
-			log.Fatalf("subcommand %q has no remote mode (remote: tenants, sessions, tickets, exec, workflow, metrics)", cmd)
+			log.Fatalf("subcommand %q has no remote mode (remote: tenants, sessions, tickets, exec, workflow, metrics, pool)", cmd)
 		}
 		return
 	}
 	switch cmd {
-	case "tenants", "sessions", "tickets":
+	case "tenants", "sessions", "tickets", "pool":
 		log.Fatalf("subcommand %q needs -server (it talks to a running heimdalld)", cmd)
 	}
 
@@ -125,7 +127,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: heimdallctl {topology|configs|policies|workflow|exec|terminal|rmm|metrics} [flags]")
 	fmt.Fprintln(os.Stderr, "       heimdallctl journal {dump|verify|diff} [flags]")
-	fmt.Fprintln(os.Stderr, "       heimdallctl {tenants|sessions|tickets|exec|workflow|metrics} -server http://host:port [flags]")
+	fmt.Fprintln(os.Stderr, "       heimdallctl {tenants|sessions|tickets|exec|workflow|metrics|pool} -server http://host:port [flags]")
 	os.Exit(2)
 }
 

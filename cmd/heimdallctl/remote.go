@@ -8,6 +8,7 @@
 //	heimdallctl exec     -server ... -tenant acme -session S-0001 -token <tok> -device r3 -line "show ip route"
 //	heimdallctl workflow -server ... -tenant acme -scenario university -issue acl
 //	heimdallctl metrics  -server ...
+//	heimdallctl pool     -server ...
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 
 	"heimdall/internal/service"
@@ -146,7 +149,7 @@ func remoteExec(c *remoteClient, tenant, session, token, device, line string) {
 	}
 }
 
-func remoteMetrics(c *remoteClient) {
+func (c *remoteClient) fetchMetrics() string {
 	resp, err := c.http.Get(c.base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -159,7 +162,96 @@ func remoteMetrics(c *remoteClient) {
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("GET /metrics: HTTP %d: %s", resp.StatusCode, raw)
 	}
-	fmt.Print(string(raw))
+	return string(raw)
+}
+
+func remoteMetrics(c *remoteClient) {
+	fmt.Print(c.fetchMetrics())
+}
+
+// metricSample is one parsed Prometheus text-format line.
+type metricSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseMetrics parses the Prometheus text format far enough for the pool
+// view: `name{k="v",...} value` and `name value` lines; comments, HELP/TYPE
+// and histogram buckets pass through as ordinary samples the caller
+// ignores by name.
+func parseMetrics(text string) []metricSample {
+	var out []metricSample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			continue
+		}
+		s := metricSample{name: line[:sp], value: val, labels: map[string]string{}}
+		if br := strings.IndexByte(s.name, '{'); br >= 0 {
+			inner := strings.TrimSuffix(s.name[br+1:], "}")
+			s.name = s.name[:br]
+			for _, kv := range strings.Split(inner, ",") {
+				if eq := strings.IndexByte(kv, '='); eq > 0 {
+					s.labels[kv[:eq]] = strings.Trim(kv[eq+1:], `"`)
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// remotePool renders the verify pool's health from one /metrics scrape:
+// global queue depth and backpressure, the review cache-hit and coalescing
+// counters (service-observed and enforcer-observed), and the per-tenant
+// queue backlog.
+func remotePool(c *remoteClient) {
+	samples := parseMetrics(c.fetchMetrics())
+	sum := func(name string) float64 {
+		total := 0.0
+		for _, s := range samples {
+			if s.name == name {
+				total += s.value
+			}
+		}
+		return total
+	}
+	fmt.Println("verify pool")
+	fmt.Printf("  %-28s %8.0f\n", "queue depth", sum("heimdall_service_queue_depth"))
+	fmt.Printf("  %-28s %8.0f\n", "backpressure (total)", sum("heimdall_service_backpressure_total"))
+	fmt.Printf("  %-28s %8.0f\n", "review cache hits", sum("heimdall_service_review_cache_hits_total"))
+	fmt.Printf("  %-28s %8.0f\n", "reviews coalesced", sum("heimdall_service_review_coalesced_total"))
+	hits, misses := sum("heimdall_enforcer_review_cache_hits_total"), sum("heimdall_enforcer_review_cache_misses_total")
+	fmt.Printf("  %-28s %8.0f hits / %.0f misses\n", "enforcer review cache", hits, misses)
+
+	backlog := map[string]float64{}
+	for _, s := range samples {
+		if s.name == "heimdall_service_tenant_queue_depth" {
+			backlog[s.labels["tenant"]] += s.value
+		}
+	}
+	if len(backlog) == 0 {
+		fmt.Println("per-tenant backlog: none recorded")
+		return
+	}
+	tenants := make([]string, 0, len(backlog))
+	for t := range backlog {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Println("per-tenant backlog")
+	for _, t := range tenants {
+		fmt.Printf("  %-28s %8.0f\n", t, backlog[t])
+	}
 }
 
 // remoteWorkflow drives a full scripted ticket against heimdalld: onboard

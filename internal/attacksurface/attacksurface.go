@@ -160,55 +160,91 @@ func (ev *Evaluator) SPFMemoStats() (hits, misses uint64) {
 // that already hold the base snapshot — every caller in the tree — reuse
 // it instead of paying a duplicate full compute).
 func InterfaceFaults(n *netmodel.Network, snap *dataplane.Snapshot) []FaultCase {
+	return InterfaceFaultsBudget(n, snap, 0)
+}
+
+// InterfaceFaultsBudget is InterfaceFaults with the baseline trace
+// enumeration bounded to roughly maxPairs host pairs (0 = all pairs). The
+// unbounded walk is quadratic in hosts — a k=16 fat-tree's 1024 hosts mean
+// a million Reach calls — so the big generated tiers stride-sample the
+// src×dst sequence instead; strides spread across sources, so every rack
+// still contributes baseline traffic. With maxPairs = 0 the result is
+// identical to the historical all-pairs enumeration: interface coverage is
+// recorded incrementally in pair order (the first covering pair wins,
+// exactly as the old first-matching-trace scan chose), and the walk stops
+// early once every candidate interface is covered.
+func InterfaceFaultsBudget(n *netmodel.Network, snap *dataplane.Snapshot, maxPairs int) []FaultCase {
 	if snap == nil {
 		snap = dataplane.Compute(n)
 	}
 	hosts := n.Hosts()
-	type pairTrace struct {
-		src, dst string
-		tr       *dataplane.Trace
+	devs := n.RoutersAndSwitches()
+
+	// The candidate set: interfaces eligible for a fault ticket. Coverage
+	// is only tracked for these, and the pair walk ends as soon as all of
+	// them have an affected pair.
+	candidates := make(map[netmodel.Endpoint]bool)
+	for _, dev := range devs {
+		d := n.Devices[dev]
+		for _, ifName := range d.InterfaceNames() {
+			if itf := d.Interfaces[ifName]; itf.Up() && itf.HasAddr() {
+				candidates[netmodel.Endpoint{Device: dev, Interface: ifName}] = true
+			}
+		}
 	}
-	var traces []pairTrace
+
+	stride := 1
+	if total := len(hosts) * (len(hosts) - 1); maxPairs > 0 && total > maxPairs {
+		stride = (total + maxPairs - 1) / maxPairs
+	}
+
+	type hostPair struct{ src, dst string }
+	covered := make(map[netmodel.Endpoint]hostPair)
+	idx := -1
+pairs:
 	for _, src := range hosts {
 		for _, dst := range hosts {
 			if src == dst {
 				continue
 			}
+			idx++
+			if idx%stride != 0 {
+				continue
+			}
 			tr, err := snap.Reach(src, dst, netmodel.ICMP, 0)
-			if err == nil && tr.Delivered() {
-				traces = append(traces, pairTrace{src, dst, tr})
+			if err != nil || !tr.Delivered() {
+				continue
+			}
+			for _, hop := range tr.Hops {
+				for _, ifName := range [2]string{hop.InIf, hop.OutIf} {
+					ep := netmodel.Endpoint{Device: hop.Device, Interface: ifName}
+					if !candidates[ep] {
+						continue
+					}
+					if _, ok := covered[ep]; ok {
+						continue
+					}
+					covered[ep] = hostPair{src, dst}
+				}
+			}
+			if len(covered) == len(candidates) {
+				break pairs
 			}
 		}
 	}
+
 	var out []FaultCase
-	for _, dev := range n.RoutersAndSwitches() {
+	for _, dev := range devs {
 		d := n.Devices[dev]
 		for _, ifName := range d.InterfaceNames() {
-			itf := d.Interfaces[ifName]
-			if !itf.Up() || !itf.HasAddr() {
-				continue
-			}
-			// The affected pair: baseline traffic entering or leaving this
-			// interface.
-			var affected *pairTrace
-			for i := range traces {
-				for _, hop := range traces[i].tr.Hops {
-					if hop.Device == dev && (hop.InIf == ifName || hop.OutIf == ifName) {
-						affected = &traces[i]
-						break
-					}
-				}
-				if affected != nil {
-					break
-				}
-			}
-			if affected == nil {
+			p, ok := covered[netmodel.Endpoint{Device: dev, Interface: ifName}]
+			if !ok {
 				continue
 			}
 			out = append(out, FaultCase{
 				Fault: ticket.InterfaceDown(dev, ifName),
-				Src:   affected.src,
-				Dst:   affected.dst,
+				Src:   p.src,
+				Dst:   p.dst,
 			})
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"heimdall/internal/dataplane"
 	"heimdall/internal/netmodel"
 	"heimdall/internal/scenarios"
+	"heimdall/internal/ticket"
 	"heimdall/internal/verify"
 )
 
@@ -192,5 +193,121 @@ func TestAffectedBySwitchConservative(t *testing.T) {
 	// A router's scope stays trace-based: it must be a strict subset.
 	if got, all := len(ev.policyScope(n, snap, "r2")), len(scen.Policies); got >= all {
 		t.Errorf("router scope not narrowed: %d of %d policies", got, all)
+	}
+}
+
+// TestInterfaceFaultsOracle pins the incremental coverage walk against the
+// historical all-pairs reference: build every delivered host-pair trace,
+// then for each candidate interface pick the first trace that crosses it.
+// The unbounded InterfaceFaults must reproduce that output exactly —
+// including which pair each fault is attributed to — since the early-exit
+// rewrite only changes when the walk stops, not what it records.
+func TestInterfaceFaultsOracle(t *testing.T) {
+	for _, s := range []*scenarios.Scenario{scenarios.Enterprise(), scenarios.University()} {
+		n := s.Network
+		snap := dataplane.Compute(n)
+		got := InterfaceFaults(n, snap)
+
+		type pairTrace struct {
+			src, dst string
+			tr       *dataplane.Trace
+		}
+		var traces []pairTrace
+		for _, src := range n.Hosts() {
+			for _, dst := range n.Hosts() {
+				if src == dst {
+					continue
+				}
+				tr, err := snap.Reach(src, dst, netmodel.ICMP, 0)
+				if err == nil && tr.Delivered() {
+					traces = append(traces, pairTrace{src, dst, tr})
+				}
+			}
+		}
+		var want []FaultCase
+		for _, dev := range n.RoutersAndSwitches() {
+			d := n.Devices[dev]
+			for _, ifName := range d.InterfaceNames() {
+				itf := d.Interfaces[ifName]
+				if !itf.Up() || !itf.HasAddr() {
+					continue
+				}
+				var affected *pairTrace
+				for i := range traces {
+					for _, hop := range traces[i].tr.Hops {
+						if hop.Device == dev && (hop.InIf == ifName || hop.OutIf == ifName) {
+							affected = &traces[i]
+							break
+						}
+					}
+					if affected != nil {
+						break
+					}
+				}
+				if affected == nil {
+					continue
+				}
+				want = append(want, FaultCase{Fault: ticket.InterfaceDown(dev, ifName), Src: affected.src, Dst: affected.dst})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d cases, reference has %d", s.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Fault.Name != want[i].Fault.Name || got[i].Src != want[i].Src || got[i].Dst != want[i].Dst {
+				t.Errorf("%s case %d: got (%s %s->%s) want (%s %s->%s)", s.Name, i,
+					got[i].Fault.Name, got[i].Src, got[i].Dst,
+					want[i].Fault.Name, want[i].Src, want[i].Dst)
+			}
+		}
+	}
+}
+
+// TestInterfaceFaultsBudget checks the stride-sampled walk's invariants:
+// every emitted case's host pair really crosses the faulted interface, no
+// fault repeats, and a budget large enough to cover everything converges
+// to the unbounded enumeration.
+func TestInterfaceFaultsBudget(t *testing.T) {
+	s := scenarios.University()
+	n := s.Network
+	snap := dataplane.Compute(n)
+	cases := InterfaceFaultsBudget(n, snap, 8)
+	if len(cases) == 0 {
+		t.Fatal("budgeted walk found no cases")
+	}
+	seen := map[string]bool{}
+	for _, fc := range cases {
+		if seen[fc.Fault.Name] {
+			t.Errorf("duplicate fault %s", fc.Fault.Name)
+		}
+		seen[fc.Fault.Name] = true
+		tr, err := snap.Reach(fc.Src, fc.Dst, netmodel.ICMP, 0)
+		if err != nil || !tr.Delivered() {
+			t.Fatalf("%s: affected pair %s->%s does not deliver", fc.Fault.Name, fc.Src, fc.Dst)
+		}
+		crosses := false
+		for _, hop := range tr.Hops {
+			for _, ifName := range []string{hop.InIf, hop.OutIf} {
+				if ifName != "" && ticket.InterfaceDown(hop.Device, ifName).Name == fc.Fault.Name {
+					crosses = true
+				}
+			}
+		}
+		if !crosses {
+			t.Errorf("%s: pair %s->%s never crosses the faulted interface", fc.Fault.Name, fc.Src, fc.Dst)
+		}
+	}
+	hosts := len(n.Hosts())
+	full := InterfaceFaultsBudget(n, snap, hosts*(hosts-1))
+	unbounded := InterfaceFaults(n, snap)
+	if len(full) != len(unbounded) {
+		t.Fatalf("budget >= pair count diverges: %d vs %d", len(full), len(unbounded))
+	}
+	for i := range unbounded {
+		if full[i].Fault.Name != unbounded[i].Fault.Name || full[i].Src != unbounded[i].Src || full[i].Dst != unbounded[i].Dst {
+			t.Errorf("case %d: (%s %s->%s) vs (%s %s->%s)", i,
+				full[i].Fault.Name, full[i].Src, full[i].Dst,
+				unbounded[i].Fault.Name, unbounded[i].Src, unbounded[i].Dst)
+		}
 	}
 }

@@ -62,6 +62,48 @@ type Env struct {
 	// Meter, when set, counts dispatched commands
 	// (heimdall_console_dispatch_total by action and write class).
 	Meter telemetry.Meter
+
+	// incremental, when set (EnableIncremental), records classified writes
+	// through noteChange so the next snapshot derives incrementally
+	// instead of recomputing from scratch.
+	incremental bool
+	noteChange  func(device string, kind dataplane.ChangeKind)
+}
+
+// noteWrite records one executed write: classified writes queue an
+// incremental derivation (when enabled), everything else pays the full
+// invalidation.
+func (e *Env) noteWrite(action, device string) {
+	if e.incremental && e.noteChange != nil {
+		if kind, ok := writeChangeKind(action); ok {
+			e.noteChange(device, kind)
+			return
+		}
+	}
+	e.Invalidate()
+}
+
+// writeChangeKind maps a console write action onto the narrowest dataplane
+// change class it can affect on its device (see dataplane.ChangeKind).
+// Interface edits are classed L3-topology without inspecting the port —
+// strictly more conservative than the enforcer's L2-only refinement, never
+// less. Unknown write actions report false and force a full recompute.
+func writeChangeKind(action string) (dataplane.ChangeKind, bool) {
+	switch action {
+	case "config.acl.add", "config.acl.remove":
+		return dataplane.ChangeACL, true
+	case "config.route.add", "config.route.remove", "config.gateway.set":
+		return dataplane.ChangeStatic, true
+	case "config.ospf.set":
+		return dataplane.ChangeOSPF, true
+	case "config.bgp.set":
+		return dataplane.ChangeBGP, true
+	case "config.vlan.set", "config.vlan.remove":
+		return dataplane.ChangeL2, true
+	case "config.interface.set":
+		return dataplane.ChangeL3Topology, true
+	}
+	return 0, false
 }
 
 // Console parses and executes commands against one device.
@@ -103,7 +145,7 @@ func (c *Console) Execute(cmd Command) (string, error) {
 		return "", err
 	}
 	if cmd.Write {
-		c.env.Invalidate()
+		c.env.noteWrite(cmd.Action, cmd.Device)
 	}
 	return out, nil
 }

@@ -1,0 +1,85 @@
+package console
+
+import (
+	"reflect"
+	"testing"
+
+	"heimdall/internal/dataplane"
+	"heimdall/internal/netmodel"
+)
+
+// TestIncrementalSnapshotOracle is the correctness oracle for the
+// incremental post-write derivation the twin enables: after every command
+// in a write-heavy script, the environment's snapshot must match a
+// from-scratch dataplane.Compute of the same network — routing state on
+// every device and end-to-end reachability included. The script mixes
+// classified writes (ACL, static route, interface, OSPF, VLAN), a write
+// the classifier punts on (ACL application, which falls back to full
+// invalidation), and reads that force derivation of the queued changes.
+func TestIncrementalSnapshotOracle(t *testing.T) {
+	n := testNet()
+	env := NewEnv(n)
+	env.EnableIncremental()
+	r1 := New("r1", env)
+
+	script := []string{
+		"show ip route",
+		"access-list EDGE 5 deny tcp any any eq 23",
+		"show access-lists EDGE",
+		"interface Gi0/1 shutdown",
+		"show interfaces",
+		"interface Gi0/1 no shutdown",
+		"ip route 192.168.0.0 255.255.0.0 10.2.0.10",
+		"show ip route",
+		"no ip route 192.168.0.0 255.255.0.0 10.2.0.10",
+		"no access-list EDGE 5",
+		"interface Gi0/0 ip access-group EDGE in", // unclassified write: full recompute path
+		"router ospf passive-interface Gi0/0",
+		"vlan 40 name lab",
+		"ping h2",
+	}
+	for _, line := range script {
+		if _, err := r1.Run(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		got := env.Snapshot()
+		want := dataplane.Compute(n)
+		for dev := range n.Devices {
+			if g, w := got.FormatRIB(dev), want.FormatRIB(dev); g != w {
+				t.Fatalf("after %q: %s RIB diverged from fresh compute:\nderived:\n%s\nfresh:\n%s",
+					line, dev, g, w)
+			}
+		}
+		gotTr, gotErr := got.Reach("h1", "h2", netmodel.TCP, 22)
+		wantTr, wantErr := want.Reach("h1", "h2", netmodel.TCP, 22)
+		if (gotErr == nil) != (wantErr == nil) || !reflect.DeepEqual(gotTr, wantTr) {
+			t.Fatalf("after %q: reachability diverged: derived (%+v, %v) fresh (%+v, %v)",
+				line, gotTr, gotErr, wantTr, wantErr)
+		}
+	}
+}
+
+// TestIncrementalSnapshotInvalidate pins that an explicit Invalidate (an
+// out-of-band mutation, e.g. the service layer resetting a twin) discards
+// queued incremental changes rather than deriving on top of a stale base.
+func TestIncrementalSnapshotInvalidate(t *testing.T) {
+	n := testNet()
+	env := NewEnv(n)
+	env.EnableIncremental()
+	r1 := New("r1", env)
+
+	env.Snapshot() // warm the cache so writes queue derivations
+	if _, err := r1.Run("ip route 192.168.0.0 255.255.0.0 10.2.0.10"); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-band mutation the console never saw.
+	n.Device("r1").Interface("Gi0/1").Shutdown = true
+	env.Invalidate()
+	got := env.Snapshot()
+	want := dataplane.Compute(n)
+	for dev := range n.Devices {
+		if g, w := got.FormatRIB(dev), want.FormatRIB(dev); g != w {
+			t.Fatalf("%s RIB stale after Invalidate:\n%s\nwant:\n%s", dev, g, w)
+		}
+	}
+}

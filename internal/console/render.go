@@ -146,16 +146,42 @@ func renderOSPFNeighbors(env *Env, dev string) string {
 }
 
 // NewEnv builds a command environment around a mutable network with a
-// lazily recomputed snapshot.
+// lazily recomputed snapshot. With EnableIncremental, the post-write
+// snapshot derives from the previous one (dataplane.Derive) instead of
+// recomputing from scratch; writes the console cannot classify still
+// invalidate fully.
 func NewEnv(n *netmodel.Network) *Env {
 	var snap *dataplane.Snapshot
+	var pending dataplane.ChangeSet
 	env := &Env{Net: n}
 	env.Snapshot = func() *dataplane.Snapshot {
+		if snap != nil && len(pending) > 0 {
+			snap = snap.Derive(n, pending)
+			pending = nil
+		}
 		if snap == nil {
+			pending = nil
 			snap = dataplane.Compute(n)
 		}
 		return snap
 	}
-	env.Invalidate = func() { snap = nil }
+	env.Invalidate = func() { snap, pending = nil, nil }
+	env.noteChange = func(device string, kind dataplane.ChangeKind) {
+		if snap == nil {
+			// Nothing cached: the next read computes fresh anyway.
+			return
+		}
+		pending = append(pending, dataplane.Change{Device: device, Kind: kind})
+	}
 	return env
 }
+
+// EnableIncremental turns on incremental post-write snapshot derivation.
+// It is only sound when every mutation of the environment's network goes
+// through this console environment: an external writer (the enforcer
+// committing to production, a fault injection) would leave the derived
+// snapshot describing a network that no longer exists. The twin enables
+// it — technician consoles are the only writers of the emulation layer —
+// and it is what keeps the mediated-command tail flat when a diagnosis
+// script alternates writes with snapshot-hungry reads.
+func (e *Env) EnableIncremental() { e.incremental = true }

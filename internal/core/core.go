@@ -134,6 +134,10 @@ func (s *System) Policies() []verify.Policy { return s.policies }
 func (s *System) MutateProduction(fn func(*netmodel.Network) error) error {
 	s.prodMu.Lock()
 	defer s.prodMu.Unlock()
+	// The mutation happens behind the enforcer's back; drop any review
+	// verdicts cached against the pre-mutation network. Invalidate even
+	// when fn fails — it may have partially applied before erroring.
+	defer s.Enforcer.InvalidateReviews()
 	return fn(s.production)
 }
 
@@ -297,13 +301,35 @@ func (e *Engagement) Drifted() bool {
 // from its bounded verify pool; technicians use it as a pre-flight before
 // Commit.
 func (e *Engagement) Review() (*enforcer.Decision, error) {
+	d, _, err := e.ReviewCached()
+	return d, err
+}
+
+// ReviewCached is Review plus the enforcer's cache-hit indicator: true
+// means the verdict was replayed from the content-addressed review cache
+// rather than recomputed (always false when the cache is disabled).
+func (e *Engagement) ReviewCached() (*enforcer.Decision, bool, error) {
 	changes := e.Twin.Changes()
 	if len(changes) == 0 {
-		return nil, fmt.Errorf("core: nothing to review for %s", e.Ticket.ID)
+		return nil, false, fmt.Errorf("core: nothing to review for %s", e.Ticket.ID)
 	}
 	e.sys.prodMu.RLock()
 	defer e.sys.prodMu.RUnlock()
-	return e.sys.Enforcer.Review(e.sys.production, changes, e.Spec), nil
+	d, hit := e.sys.Enforcer.ReviewCached(e.sys.production, changes, e.Spec)
+	return d, hit, nil
+}
+
+// ReviewKey returns the content address a review of this engagement's
+// pending changes would occupy right now (enforcer.ReviewKey), and false
+// when there is nothing to review. Concurrent submissions with equal keys
+// would receive the same verdict, which is what the service layer's
+// request coalescing keys on.
+func (e *Engagement) ReviewKey() (string, bool) {
+	changes := e.Twin.Changes()
+	if len(changes) == 0 {
+		return "", false
+	}
+	return e.sys.Enforcer.ReviewKey(changes, e.Spec), true
 }
 
 // Commit extracts the twin's changes, has the enforcer verify and schedule

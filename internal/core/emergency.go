@@ -109,6 +109,9 @@ func (s *EmergencySession) Exec(line string) (string, error) {
 	if cmd.Write {
 		trail.Append(e.Ticket.ID, e.Ticket.Assignee, audit.KindChange,
 			fmt.Sprintf("EMERGENCY applied [%s] %s", s.Device(), line), true)
+		// The write bypassed the commit pipeline; cached review verdicts
+		// no longer describe production.
+		e.sys.Enforcer.InvalidateReviews()
 	}
 	return out, nil
 }

@@ -1,0 +1,169 @@
+package enforcer
+
+// The content-addressed review cache. The MSP workload is dominated by
+// near-duplicate change sets: many technicians replay the same scenario
+// template against the same customer network, so the same (production
+// snapshot, change set, privilege rules) triple is reviewed over and over.
+// Each such review pays a full shadow-snapshot derivation plus policy
+// verification even though the verdict is a pure function of its inputs.
+//
+// The cache keys on content, not identity: production-mutation version ×
+// privilege-rules digest × canonical change-set digest (plus the network
+// pointer, so one enforcer fronting two networks never cross-serves). Any
+// path that mutates production — a committed change set, a rollback, a
+// quarantine, recovery, or an out-of-band mutation reported through
+// InvalidateReviews — bumps the version, which orphans every prior key.
+//
+// A cached hit is observably identical to a fresh review: it appends the
+// same audit-trail entry (message and outcome recorded alongside the
+// verdict), bumps the same review counters, and returns a decision whose
+// JSON serialization is byte-for-byte the fresh result, including the
+// ReportDeltas reachability diff. Only the verify-latency histogram is
+// skipped, so that metric keeps measuring real verifications.
+//
+// The cache is opt-in because Review takes the production network as a
+// parameter: callers that mutate networks behind the enforcer's back (the
+// chaos suites do, deliberately) must not enable it, or must route every
+// mutation through InvalidateReviews. The service layer does the latter.
+
+import (
+	"fmt"
+	"sync"
+
+	"heimdall/internal/audit"
+	"heimdall/internal/config"
+	"heimdall/internal/netmodel"
+	"heimdall/internal/privilege"
+	"heimdall/internal/verify"
+)
+
+// defaultReviewCacheCap bounds retained verdicts when EnableReviewCache
+// is given no capacity. Entries are small (a Decision plus its trail
+// line); the bound exists to stop a scripted load from growing the map
+// without limit across privilege-spec variants.
+const defaultReviewCacheCap = 256
+
+// reviewCacheEntry is one memoized verdict: the decision plus the exact
+// audit-trail line the fresh review produced, so a hit replays it.
+type reviewCacheEntry struct {
+	decision *Decision
+	trailMsg string
+	trailOK  bool
+}
+
+// reviewCache is a bounded FIFO map of verdicts. FIFO (not LRU) keeps
+// eviction O(1) and is near-optimal here: invalidation happens by version
+// bump, so surviving entries are all the same age class.
+type reviewCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]reviewCacheEntry
+	order   []string
+}
+
+func newReviewCache(capacity int) *reviewCache {
+	if capacity <= 0 {
+		capacity = defaultReviewCacheCap
+	}
+	return &reviewCache{cap: capacity, entries: make(map[string]reviewCacheEntry)}
+}
+
+func (rc *reviewCache) get(key string) (reviewCacheEntry, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	ent, ok := rc.entries[key]
+	return ent, ok
+}
+
+func (rc *reviewCache) put(key string, ent reviewCacheEntry) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, exists := rc.entries[key]; !exists {
+		rc.order = append(rc.order, key)
+	}
+	rc.entries[key] = ent
+	for len(rc.entries) > rc.cap && len(rc.order) > 0 {
+		oldest := rc.order[0]
+		rc.order = rc.order[1:]
+		delete(rc.entries, oldest)
+	}
+}
+
+func (rc *reviewCache) clear() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries = make(map[string]reviewCacheEntry)
+	rc.order = nil
+}
+
+// EnableReviewCache turns on verdict memoization with the given capacity
+// (<= 0 means defaultReviewCacheCap). Enable it before the enforcer sees
+// concurrent reviews, and only when every production mutation is visible
+// to the enforcer (its own commit pipeline, or InvalidateReviews).
+func (e *Enforcer) EnableReviewCache(capacity int) {
+	e.reviews.Store(newReviewCache(capacity))
+}
+
+// InvalidateReviews discards every cached review verdict by bumping the
+// production version. Call it after mutating production outside the
+// enforcer's commit pipeline (maintenance edits, emergency sessions). The
+// commit pipeline calls it itself on every path that touches production.
+func (e *Enforcer) InvalidateReviews() {
+	e.prodVersion.Add(1)
+	if rc := e.reviews.Load(); rc != nil {
+		rc.clear()
+	}
+}
+
+// ReviewKey returns the content address a review of (changes, spec) would
+// occupy right now: production version, privilege-rules digest, canonical
+// change-set digest. Two calls return the same key exactly when the
+// enforcer would serve them the same verdict, which is what the service
+// layer's request coalescing keys on. The key changes on every production
+// mutation, so it is only meaningful for the duration of one submission.
+func (e *Enforcer) ReviewKey(changes []config.Change, spec *privilege.Spec) string {
+	return fmt.Sprintf("v%d|%s|%s", e.prodVersion.Load(), spec.RulesDigest(), verify.ChangeSetDigest(changes))
+}
+
+// clone returns a decision whose slices are independent of the original,
+// so a cached verdict can be handed out repeatedly while callers (the
+// commit pipeline mutates Accepted/Violations on post-apply failure)
+// remain free to modify their copy.
+func (d *Decision) clone() *Decision {
+	c := *d
+	c.Unauthorized = append([]config.Change(nil), d.Unauthorized...)
+	c.Violations = append([]verify.Violation(nil), d.Violations...)
+	c.Deltas = append([]verify.Delta(nil), d.Deltas...)
+	return &c
+}
+
+// ReviewCached is Review plus a hit indicator: true means the verdict was
+// served from the cache (the audit trail and review counters are updated
+// identically either way). With the cache disabled it always computes and
+// reports false.
+func (e *Enforcer) ReviewCached(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) (*Decision, bool) {
+	rc := e.reviews.Load()
+	if rc == nil {
+		d, msg, ok := e.reviewCompute(prod, changes, spec)
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify, msg, ok)
+		e.countReview(d.Accepted)
+		return d, false
+	}
+	// The network pointer joins the key so an enforcer reviewing against
+	// two different networks (tests do) never serves one's verdict for the
+	// other. The key is computed once, before the review: the version it
+	// captures is the one the verdict is valid for.
+	key := fmt.Sprintf("%p|%s", prod, e.ReviewKey(changes, spec))
+	if ent, hit := rc.get(key); hit {
+		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify, ent.trailMsg, ent.trailOK)
+		e.countReview(ent.decision.Accepted)
+		e.meter.Counter("heimdall_enforcer_review_cache_hits_total").Inc()
+		return ent.decision.clone(), true
+	}
+	d, msg, ok := e.reviewCompute(prod, changes, spec)
+	e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify, msg, ok)
+	e.countReview(d.Accepted)
+	e.meter.Counter("heimdall_enforcer_review_cache_misses_total").Inc()
+	rc.put(key, reviewCacheEntry{decision: d.clone(), trailMsg: msg, trailOK: ok})
+	return d, false
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heimdall/internal/audit"
@@ -80,6 +81,13 @@ type Enforcer struct {
 	scopeMu      sync.Mutex
 	scopeCond    *sync.Cond
 	reservations map[string]map[string]bool
+	// reviews, when enabled (EnableReviewCache), memoizes review verdicts
+	// by content: production version × privilege digest × change-set
+	// digest. prodVersion counts production mutations and is folded into
+	// every cache key, so a commit (or rollback, recovery, out-of-band
+	// mutation) invalidates all prior verdicts at once. See cache.go.
+	reviews     atomic.Pointer[reviewCache]
+	prodVersion atomic.Uint64
 }
 
 // New creates an enforcer hosted in the given enclave, guarding the given
@@ -158,9 +166,20 @@ func (d *Decision) Reason() string {
 }
 
 // Review checks a candidate change set against the Privilegemsp and the
-// network policies, without touching production.
+// network policies, without touching production. With the review cache
+// enabled (EnableReviewCache) a repeat of an already-reviewed change set
+// against the unchanged production snapshot replays the cached verdict;
+// callers who need to know use ReviewCached.
 func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) *Decision {
-	d := &Decision{}
+	d, _ := e.ReviewCached(prod, changes, spec)
+	return d
+}
+
+// reviewCompute is the uncached review: it returns the decision plus the
+// audit-trail message and outcome flag the caller must append. The trail
+// write is hoisted out so a cache hit can replay the identical entry.
+func (e *Enforcer) reviewCompute(prod *netmodel.Network, changes []config.Change, spec *privilege.Spec) (d *Decision, trailMsg string, trailOK bool) {
+	d = &Decision{}
 
 	// Privilege check: every change must be authorized. The compiled form
 	// evaluates each change without rescanning (or re-splitting) the rules.
@@ -171,10 +190,7 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 		}
 	}
 	if len(d.Unauthorized) > 0 {
-		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
-			fmt.Sprintf("review rejected: %d unauthorized changes", len(d.Unauthorized)), false)
-		e.countReview(false)
-		return d
+		return d, fmt.Sprintf("review rejected: %d unauthorized changes", len(d.Unauthorized)), false
 	}
 
 	// Policy verification on a shadow copy. The shadow is copy-on-write:
@@ -195,10 +211,7 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 		d.Violations = append(d.Violations, verify.Violation{
 			Reason: fmt.Sprintf("changes do not apply cleanly: %v", err),
 		})
-		e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
-			"review rejected: changes do not apply", false)
-		e.countReview(false)
-		return d
+		return d, "review rejected: changes do not apply", false
 	}
 	// Snapshots carry the enforcer's meter so their flow-cache hit/miss
 	// counters land in the same registry as the verifier metrics; the
@@ -236,11 +249,8 @@ func (e *Enforcer) Review(prod *netmodel.Network, changes []config.Change, spec 
 	d.Checked = res.Checked
 	d.Violations = append(d.Violations, res.Violations...)
 	d.Accepted = len(d.Violations) == 0
-	e.trail.Append(spec.Ticket, spec.Technician, audit.KindVerify,
-		fmt.Sprintf("review: %d changes, %d policies checked, %d violations",
-			len(changes), d.Checked, len(d.Violations)), d.Accepted)
-	e.countReview(d.Accepted)
-	return d
+	return d, fmt.Sprintf("review: %d changes, %d policies checked, %d violations",
+		len(changes), d.Checked, len(d.Violations)), d.Accepted
 }
 
 // changeKindFor maps a configuration op onto the narrowest dataplane
@@ -464,6 +474,8 @@ func (e *Enforcer) CommitApproved(prod *netmodel.Network, changes []config.Chang
 	mirrorTo(tgt, e.journal.Committed(cid, fmt.Sprintf("%d changes", len(ordered))))
 	e.trail.Append(spec.Ticket, spec.Technician, audit.KindSession,
 		fmt.Sprintf("committed %d changes to production", len(ordered)), true)
+	// Production changed: every cached review verdict is now stale.
+	e.InvalidateReviews()
 	e.countCommit(true)
 	return d, nil
 }

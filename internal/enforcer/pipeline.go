@@ -255,6 +255,10 @@ func preState(backup *netmodel.Network, changes []config.Change) map[string]stri
 // returns the terminal outcome ("rolled-back" or "quarantined"). Callers
 // hold commitMu.
 func (e *Enforcer) rollbackPush(tgt Target, p RetryPolicy, rng *rand.Rand, backup *netmodel.Network, devices []string, spec specIdent, cid, why string) string {
+	// Production was (partially) mutated before the rollback began; even a
+	// clean restore replaces device objects, and a failed one leaves
+	// partial state — either way no cached verdict may survive.
+	defer e.InvalidateReviews()
 	var restored, failed []string
 	for _, name := range devices {
 		d := backup.Devices[name]
@@ -314,6 +318,10 @@ func (e *Enforcer) Recover(prod *netmodel.Network) (*RecoveryReport, error) {
 	if intent == nil {
 		return &RecoveryReport{Action: "none"}, nil
 	}
+	// Recovery rewrites production (pre-state restore, then replay); no
+	// verdict cached against the interrupted state may survive it,
+	// whichever way it ends.
+	defer e.InvalidateReviews()
 	e.meter.Counter("heimdall_enforcer_recoveries_total").Inc()
 	id := specIdent{intent.Ticket, intent.Technician}
 	restore := func() error {

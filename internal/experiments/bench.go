@@ -77,6 +77,12 @@ type BenchReport struct {
 	ServiceVerifyQueueP50Ms float64 `json:"service_verify_queue_p50_ms"`
 	ServiceVerifyQueueP99Ms float64 `json:"service_verify_queue_p99_ms"`
 	ServicePeakQueueDepth   int     `json:"service_peak_queue_depth"`
+	// Review-dedup headline: of ServiceReviews total, how many were served
+	// from the enforcer's verdict cache and how many coalesced onto an
+	// in-flight identical verification (the rest ran fresh).
+	ServiceReviews         int64 `json:"service_reviews"`
+	ServiceReviewCacheHits int64 `json:"service_review_cache_hits"`
+	ServiceReviewCoalesced int64 `json:"service_review_coalesced"`
 
 	// Replicated-enforcer headline: wall-clock per quorum commit (intent
 	// proposal, three replica votes, change fan-out, terminal mirror) on a
@@ -117,7 +123,9 @@ type ScaleTier struct {
 
 	// SweepCases fault cases (of SweepCasesTotal enumerated — the cap keeps
 	// the tier affordable; the acceptance bound is the capped time) swept
-	// with all three techniques at mutation budget 4, serial.
+	// with all three techniques at mutation budget 4, serial. The biggest
+	// tiers enumerate from a stride-sampled host-pair walk (pairBudget), so
+	// their SweepCasesTotal is of the sampled catalog, not the full one.
 	SweepCases          int     `json:"sweep_cases"`
 	SweepCasesTotal     int     `json:"sweep_cases_total"`
 	SweepBoundedSeconds float64 `json:"sweep_bounded_seconds"`
@@ -257,6 +265,9 @@ func RunBench() BenchReport {
 		r.ServiceVerifyQueueP50Ms = rep.VerifyQueueP50Ms
 		r.ServiceVerifyQueueP99Ms = rep.VerifyQueueP99Ms
 		r.ServicePeakQueueDepth = rep.PeakQueueDepth
+		r.ServiceReviews = rep.Reviews
+		r.ServiceReviewCacheHits = rep.CacheHits
+		r.ServiceReviewCoalesced = rep.Coalesced
 	}
 
 	// Replicated-enforcer quorum commits and the chaos deck's Byzantine
@@ -285,6 +296,10 @@ type scaleTierSpec struct {
 	// computes/derives are the timing iteration counts (kept small: the
 	// big tiers pay seconds per full compute).
 	computes, derives int
+	// sweepCap overrides sweepCaseCap (0 = the default); pairBudget bounds
+	// the fault enumeration's host-pair walk (0 = all pairs) — the k=16
+	// tier's 1024 hosts make the unbounded quadratic walk minutes long.
+	sweepCap, pairBudget int
 }
 
 // sweepCaseCap bounds the fault cases each tier's bounded sweep evaluates.
@@ -305,6 +320,17 @@ func RunScaleTiers() map[string]ScaleTier {
 			build: func() *scenarios.Scenario { return generate.FatTree(generate.FatTreeParams{K: 8}) },
 			l3dev: "c0-0", l3if: "Gi0/0", ospfDev: "c0-0", ospfIf: "Gi0/1",
 			computes: 3, derives: 10,
+		},
+		{
+			// The routine k=16 run (ROADMAP item 2 follow-up): 320 devices,
+			// 1024 hosts. Time-boxed hard — one timed compute, three
+			// derives, a stride-sampled fault walk and a four-case sweep —
+			// so the whole tier stays around ten seconds in CI.
+			name:  "fattree-k16",
+			build: func() *scenarios.Scenario { return generate.FatTree(generate.FatTreeParams{K: 16}) },
+			l3dev: "c0-0", l3if: "Gi0/0", ospfDev: "c0-0", ospfIf: "Gi0/1",
+			computes: 1, derives: 3,
+			sweepCap: 4, pairBudget: 4096,
 		},
 		{
 			name:  "isp",
@@ -385,10 +411,14 @@ func runScaleTier(spec scaleTierSpec) ScaleTier {
 		MutationBudget: 4,
 		Workers:        1,
 	}
-	cases := attacksurface.InterfaceFaults(base, ev.BaseSnapshot())
+	cases := attacksurface.InterfaceFaultsBudget(base, ev.BaseSnapshot(), spec.pairBudget)
 	t.SweepCasesTotal = len(cases)
-	if len(cases) > sweepCaseCap {
-		cases = cases[:sweepCaseCap]
+	caseCap := spec.sweepCap
+	if caseCap == 0 {
+		caseCap = sweepCaseCap
+	}
+	if len(cases) > caseCap {
+		cases = cases[:caseCap]
 	}
 	t.SweepCases = len(cases)
 	start = time.Now()

@@ -17,6 +17,8 @@
 package privilege
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -132,6 +134,28 @@ func (s *Spec) String() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// RulesDigest returns a content digest of the spec's rule set. Two specs
+// digest equal exactly when they authorize the same (action, resource)
+// pairs: evaluation is deny-overrides over the whole rule set, so rule
+// order is irrelevant and the digest hashes the rules sorted. Ticket and
+// technician identity are deliberately excluded — many technicians
+// working the same scenario template hold textually identical privileges,
+// and the enforcer's review cache keys on what a spec permits, not on who
+// holds it.
+func (s *Spec) RulesDigest() string {
+	lines := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		lines[i] = r.String()
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Devices returns the sorted set of device names the spec's allow rules

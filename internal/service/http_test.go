@@ -307,10 +307,10 @@ func TestHTTPReviewOverloadIs429(t *testing.T) {
 	// the review endpoint: it must fail fast with 429.
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go func() { _ = svc.Pool().Do(func() { close(started); <-release }) }()
+	go func() { _ = svc.Pool().Do("acme", func() { close(started); <-release }) }()
 	<-started
 	queued := make(chan error, 1)
-	go func() { queued <- svc.Pool().Do(func() {}) }()
+	go func() { queued <- svc.Pool().Do("acme", func() {}) }()
 	waitDepth(t, svc.Pool(), 1)
 
 	s, out := c.do("POST", "/v1/tenants/acme/sessions/"+info.Session+"/review", info.Token, nil)

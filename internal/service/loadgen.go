@@ -55,12 +55,20 @@ type LoadReport struct {
 	// it says.
 	Denied         int64   `json:"denied"`
 	Errors         int64   `json:"errors"`
-	Reviews        int64   `json:"reviews"`
-	Backpressure   int64   `json:"backpressure"`
-	Commits        int64   `json:"commits"`
+	Reviews      int64   `json:"reviews"`
+	Backpressure int64   `json:"backpressure"`
+	Commits      int64   `json:"commits"`
 	SetupSeconds float64 `json:"setup_seconds"`
-	RunSeconds   float64 `json:"run_seconds"`
-	CmdsPerSec   float64 `json:"cmds_per_sec"`
+	// RunSeconds is the mediated-command phase only; ReviewSeconds is the
+	// review/commit phase that follows it. The two run back-to-back with a
+	// barrier between, so CmdsPerSec and the mediation percentiles measure
+	// pure Exec throughput — before the split, verify/commit CPU from
+	// fast-finishing sessions contended with still-running scripts and
+	// polluted the mediation p99 (1.2s tails that were really enforcer
+	// work, not mediation).
+	RunSeconds    float64 `json:"run_seconds"`
+	ReviewSeconds float64 `json:"review_seconds"`
+	CmdsPerSec    float64 `json:"cmds_per_sec"`
 	// P50Ms/P99Ms cover the mediated Exec path only — command parsing,
 	// reference-monitor checks, twin apply. Verify-pool queue wait is
 	// reported separately below so a deep review backlog cannot masquerade
@@ -70,14 +78,20 @@ type LoadReport struct {
 	VerifyQueueP50Ms float64 `json:"verify_queue_p50_ms"`
 	VerifyQueueP99Ms float64 `json:"verify_queue_p99_ms"`
 	PeakQueueDepth   int     `json:"peak_queue_depth"`
+	// CacheHits counts reviews answered from the enforcer's verdict cache;
+	// Coalesced counts reviews that shared another session's in-flight
+	// verification. Reviews = fresh + CacheHits + Coalesced.
+	CacheHits int64 `json:"review_cache_hits"`
+	Coalesced int64 `json:"review_coalesced"`
 }
 
 // String renders the report's headline.
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
-		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, mediation p50 %.3fms, p99 %.3fms), %d denied, %d errors, %d reviews (%d backpressured), %d commits, verify queue wait p50 %.3fms, p99 %.3fms, peak depth %d",
+		"%d tenants, %d concurrent sessions: %d mediated commands in %.2fs (%.0f cmds/sec, mediation p50 %.3fms, p99 %.3fms), %d denied, %d errors; %d reviews in %.2fs (%d cache hits, %d coalesced, %d backpressured), %d commits, verify queue wait p50 %.3fms, p99 %.3fms, peak depth %d",
 		r.Tenants, r.Sessions, r.Commands, r.RunSeconds, r.CmdsPerSec,
-		r.P50Ms, r.P99Ms, r.Denied, r.Errors, r.Reviews, r.Backpressure, r.Commits,
+		r.P50Ms, r.P99Ms, r.Denied, r.Errors, r.Reviews, r.ReviewSeconds,
+		r.CacheHits, r.Coalesced, r.Backpressure, r.Commits,
 		r.VerifyQueueP50Ms, r.VerifyQueueP99Ms, r.PeakQueueDepth)
 }
 
@@ -120,7 +134,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	// Every session is live before the first command: the run phase
 	// measures pure mediated-command throughput with Tenants×Sessions
-	// concurrent technicians.
+	// concurrent technicians. Reviews and commits run in a second phase
+	// behind a barrier, so the mediation percentiles never absorb
+	// verify/commit CPU from sessions that finished their scripts early.
 	var (
 		commands, denied, execErrs, reviews, backpressure, commits atomic.Int64
 
@@ -152,28 +168,48 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			latMu.Lock()
 			latencies = append(latencies, local...)
 			latMu.Unlock()
-			if cfg.Reviews {
-				_, err := svc.Review(ls.tenant, ls.id, ls.token)
-				switch {
-				case errors.Is(err, ErrQueueFull):
-					backpressure.Add(1)
-				case err == nil:
-					reviews.Add(1)
-				default:
-					reviews.Add(1) // reviewed but rejected/empty — still work done
-				}
-			}
-			if cfg.Commits && ls.commit {
-				if _, err := svc.Commit(ls.tenant, ls.id, ls.token); err == nil {
-					commits.Add(1)
-				} else if errors.Is(err, ErrQueueFull) {
-					backpressure.Add(1)
-				}
-			}
 		}()
 	}
 	wg.Wait()
 	run := time.Since(runStart)
+
+	// Phase two: every session submits its change set for review, and one
+	// session per tenant commits. All sessions replayed the same scripted
+	// fix, so this is the cache/coalescing worst case the MSP workload
+	// actually looks like — near-duplicate change sets arriving together.
+	hits0, coal0 := svc.ReviewStats()
+	reviewStart := time.Now()
+	if cfg.Reviews || cfg.Commits {
+		var rwg sync.WaitGroup
+		for i := range sessions {
+			ls := &sessions[i]
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				if cfg.Reviews {
+					_, err := svc.Review(ls.tenant, ls.id, ls.token)
+					switch {
+					case errors.Is(err, ErrQueueFull):
+						backpressure.Add(1)
+					case err == nil:
+						reviews.Add(1)
+					default:
+						reviews.Add(1) // reviewed but rejected/empty — still work done
+					}
+				}
+				if cfg.Commits && ls.commit {
+					if _, err := svc.Commit(ls.tenant, ls.id, ls.token); err == nil {
+						commits.Add(1)
+					} else if errors.Is(err, ErrQueueFull) {
+						backpressure.Add(1)
+					}
+				}
+			}()
+		}
+		rwg.Wait()
+	}
+	reviewDur := time.Since(reviewStart)
+	hits1, coal1 := svc.ReviewStats()
 
 	// Tear down: close every session that is still active.
 	for i := range sessions {
@@ -192,7 +228,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		Commits:        commits.Load(),
 		SetupSeconds:   setup.Seconds(),
 		RunSeconds:     run.Seconds(),
+		ReviewSeconds:  reviewDur.Seconds(),
 		PeakQueueDepth: svc.Pool().PeakDepth(),
+		CacheHits:      hits1 - hits0,
+		Coalesced:      coal1 - coal0,
 	}
 	if run > 0 {
 		rep.CmdsPerSec = float64(rep.Commands) / run.Seconds()

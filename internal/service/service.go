@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"heimdall/internal/audit"
@@ -70,8 +71,9 @@ type Config struct {
 	// VerifyWorkers bounds concurrent enforcer reviews/commits across all
 	// tenants (default GOMAXPROCS).
 	VerifyWorkers int
-	// VerifyQueue bounds reviews waiting for a worker; a full queue
-	// fails fast with ErrQueueFull (default 64).
+	// VerifyQueue bounds reviews waiting for a worker *per tenant* (the
+	// pool schedules round-robin across per-tenant queues); a full tenant
+	// queue fails fast with ErrQueueFull (default 64).
 	VerifyQueue int
 	// IdleTimeout expires sessions with no command activity (default
 	// 30m). The sweep runs from SweepIdle (heimdalld drives it on a
@@ -98,6 +100,13 @@ type Service struct {
 	idle    time.Duration
 	meter   telemetry.Meter
 	seed    string
+
+	// reviewCacheHits counts reviews answered from the enforcer's
+	// content-addressed verdict cache; reviewCoalesced counts reviews that
+	// joined another session's in-flight verification instead of queueing
+	// their own. Mirrored to the heimdall_service_review_* counters.
+	reviewCacheHits atomic.Int64
+	reviewCoalesced atomic.Int64
 }
 
 // BuiltinCatalog returns the built-in evaluation scenarios: the three
@@ -141,6 +150,11 @@ func New(cfg Config) *Service {
 	if cfg.Meter == nil {
 		cfg.Meter = telemetry.Nop()
 	}
+	// Touch the hot-path counters once so /metrics exposes them at zero
+	// from the first scrape (the registry only dumps metrics it has seen).
+	cfg.Meter.Counter("heimdall_service_review_cache_hits_total")
+	cfg.Meter.Counter("heimdall_service_review_coalesced_total")
+	cfg.Meter.Counter("heimdall_service_backpressure_total")
 	return &Service{
 		catalog: cfg.Catalog,
 		reg:     newRegistry(cfg.Shards),
@@ -200,6 +214,12 @@ func (s *Service) CreateTenant(id, scenario string) (TenantInfo, error) {
 		return TenantInfo{}, err
 	}
 	sys.Tickets.SetClock(s.clock)
+	// The service routes every production mutation through paths the
+	// enforcer observes (its own commit pipeline, MutateProduction,
+	// emergency sessions), so memoizing review verdicts by content is
+	// safe here — the MSP workload's near-duplicate scripted tickets make
+	// it the single biggest queue-drain lever.
+	sys.Enforcer.EnableReviewCache(0)
 	t := &Tenant{
 		ID:       id,
 		Scenario: scenario,
@@ -541,9 +561,23 @@ type ReviewResult struct {
 	Status     string   `json:"status,omitempty"`
 }
 
+// reviewOutcome is the shared result of one pooled review execution.
+type reviewOutcome struct {
+	res ReviewResult
+	err error
+	hit bool
+}
+
 // Review runs the enforcer's verification of the session's current twin
 // changes through the bounded pool, without touching production.
 // Overload returns ErrQueueFull.
+//
+// Reviews are content-coalesced: concurrent submissions whose pending
+// change set, privilege rules and production snapshot are identical
+// (sessions replaying the same scripted ticket) share one queue slot and
+// one verification, and repeated submissions of an already-verified set
+// are answered from the enforcer's verdict cache. Either way the result
+// is byte-identical to a fresh review.
 func (s *Service) Review(tenant, session, token string) (ReviewResult, error) {
 	sess, err := s.lookup(tenant, session, token)
 	if err != nil {
@@ -553,20 +587,45 @@ func (s *Service) Review(tenant, session, token string) (ReviewResult, error) {
 	if err != nil {
 		return ReviewResult{}, err
 	}
-	var res ReviewResult
-	var inner error
-	err = s.pool.Do(func() {
-		var d *enforcer.Decision
-		d, inner = eng.Review()
-		if inner != nil {
-			return
+	key, ok := eng.ReviewKey()
+	if !ok {
+		// Empty change set: take a plain (uncoalesced) slot so the
+		// "nothing to review" error surfaces exactly as before.
+		var out reviewOutcome
+		if err := s.pool.Do(tenant, func() { out = s.reviewOnPool(eng) }); err != nil {
+			return ReviewResult{}, err
 		}
-		res = decisionResult(d)
-	})
+		return out.res, out.err
+	}
+	shared, coalesced, err := s.pool.DoShared(tenant, key, func() any { return s.reviewOnPool(eng) })
 	if err != nil {
 		return ReviewResult{}, err
 	}
-	return res, inner
+	out := shared.(reviewOutcome)
+	if coalesced {
+		s.reviewCoalesced.Add(1)
+		s.meter.Counter("heimdall_service_review_coalesced_total").Inc()
+	} else if out.hit {
+		s.reviewCacheHits.Add(1)
+		s.meter.Counter("heimdall_service_review_cache_hits_total").Inc()
+	}
+	return out.res, out.err
+}
+
+// reviewOnPool is the body of one pooled review execution.
+func (s *Service) reviewOnPool(eng *core.Engagement) reviewOutcome {
+	d, hit, err := eng.ReviewCached()
+	if err != nil {
+		return reviewOutcome{err: err}
+	}
+	return reviewOutcome{res: decisionResult(d), hit: hit}
+}
+
+// ReviewStats reports how many reviews were served from the verdict
+// cache and how many coalesced onto an in-flight execution since the
+// service started (the load generator's cache-effectiveness headline).
+func (s *Service) ReviewStats() (cacheHits, coalesced int64) {
+	return s.reviewCacheHits.Load(), s.reviewCoalesced.Load()
 }
 
 // Commit pushes the session's twin changes through the enforcer into the
@@ -582,7 +641,7 @@ func (s *Service) Commit(tenant, session, token string) (ReviewResult, error) {
 	}
 	var res ReviewResult
 	var inner error
-	err = s.pool.Do(func() {
+	err = s.pool.Do(tenant, func() {
 		d, cerr := eng.Commit()
 		if d != nil {
 			res = decisionResult(d)

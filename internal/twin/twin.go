@@ -107,6 +107,12 @@ func New(cfg Config) (*Twin, error) {
 		meter:      meter,
 	}
 	tw.env = console.NewEnv(tw.emul)
+	// Technician consoles are the emulation layer's only writers (Exec
+	// serializes under tw.mu), so post-write snapshots can derive
+	// incrementally from the previous one instead of recomputing the
+	// dataplane from scratch — the dominant cost of diagnosis scripts
+	// that alternate fixes with reachability checks.
+	tw.env.EnableIncremental()
 	if cfg.Meter != nil {
 		tw.env.Meter = cfg.Meter
 	}
